@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: how deep should the prefetch queue be?
+ *
+ * §5.2 concludes from Figure 6 that "the choice of 16 for the size
+ * of the prefetch queue seems to be a reasonable one" because the
+ * remote latency is almost entirely hidden as the group size
+ * approaches 16. This bench sweeps the queue depth (4..64) and
+ * measures (a) the asymptotic per-element cost of full-queue groups
+ * and (b) EM3D's Get version, showing diminishing returns beyond the
+ * hardware's 16.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "alpha/address.hh"
+#include "em3d/em3d.hh"
+#include "machine/machine.hh"
+#include "probes/table.hh"
+#include "shell/annex.hh"
+
+using namespace t3dsim;
+using shell::ReadMode;
+
+namespace
+{
+
+/** Per-element cost of groups that fill a queue of depth @p slots. */
+double
+groupCost(unsigned slots)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::t3d(2);
+    cfg.shell.prefetchSlots = slots;
+    machine::Machine m(cfg);
+    auto &n0 = m.node(0);
+    n0.shell().setAnnex(1, {1, ReadMode::Uncached});
+    n0.loadU64(alpha::makeAnnexedVa(1, 0)); // warm
+
+    const int reps = 8;
+    const Cycles t0 = n0.clock().now();
+    for (int r = 0; r < reps; ++r) {
+        for (unsigned i = 0; i < slots; ++i)
+            n0.fetchHint(alpha::makeAnnexedVa(1, 8 * i));
+        if (n0.shell().prefetch().needsMbBeforePop())
+            n0.mb();
+        for (unsigned i = 0; i < slots; ++i)
+            n0.core().storeU64(0x100 + 8 * i, n0.popPrefetch());
+    }
+    return double(n0.clock().now() - t0) / (reps * slots);
+}
+
+/** EM3D Get version with a given queue depth. */
+double
+em3dGetCost(unsigned slots)
+{
+    em3d::Config cfg;
+    cfg.nodesPerPe = 100;
+    cfg.degree = 8;
+    cfg.remoteFraction = 0.5;
+    machine::MachineConfig mc = machine::MachineConfig::t3d(8);
+    mc.shell.prefetchSlots = slots;
+    return em3d::run(cfg, em3d::Version::Get, mc).usPerEdge;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation: prefetch queue depth (Sec. 5.2 sizes the "
+                 "hardware FIFO at 16)\n";
+
+    probes::Table t({"queue depth", "group cost (cy/elem)",
+                     "EM3D Get (us/edge, 50% remote)"});
+    for (unsigned slots : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        char us[32];
+        std::snprintf(us, sizeof(us), "%.3f", em3dGetCost(slots));
+        t.addRow(slots, groupCost(slots), us);
+    }
+    t.print();
+
+    std::cout
+        << "expected: cost falls steeply up to ~16 entries (the pop "
+           "cost begins to dominate),\nthen flattens — the round "
+           "trip is already hidden, matching the paper's judgement "
+           "that 16 is reasonable.\n";
+    return 0;
+}

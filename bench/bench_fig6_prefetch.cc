@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 6: average latency per element of prefetch groups of 1..16,
+ * for the raw hardware mechanism (prefetch / pop / local store) and
+ * for the Split-C get (which adds the target-address table and other
+ * runtime overheads). A blocking-read line provides the reference.
+ */
+
+#include <iostream>
+
+#include "alpha/address.hh"
+#include "machine/machine.hh"
+#include "probes/table.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+using namespace t3dsim;
+using shell::ReadMode;
+
+namespace
+{
+
+/** Raw mechanism: group issue, MB if needed, pops + local stores. */
+double
+rawGroupCyclesPerElement(unsigned group)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &n0 = m.node(0);
+    n0.shell().setAnnex(1, {1, ReadMode::Uncached});
+    // Warm the remote page.
+    n0.loadU64(alpha::makeAnnexedVa(1, 0));
+
+    const int reps = 16;
+    const Cycles t0 = n0.clock().now();
+    for (int r = 0; r < reps; ++r) {
+        for (unsigned i = 0; i < group; ++i)
+            n0.fetchHint(alpha::makeAnnexedVa(1, 8 * i));
+        if (n0.shell().prefetch().needsMbBeforePop())
+            n0.mb();
+        for (unsigned i = 0; i < group; ++i)
+            n0.core().storeU64(0x100 + 8 * i, n0.popPrefetch());
+    }
+    return double(n0.clock().now() - t0) / (reps * group);
+}
+
+/** Split-C get: the full language primitive. */
+double
+getGroupCyclesPerElement(unsigned group)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    double result = 0;
+    splitc::runSpmd(m, [&](splitc::Proc &p) -> splitc::ProcTask {
+        if (p.pe() != 0)
+            co_return;
+        p.readU64(splitc::GlobalAddr::make(1, 0)); // warm
+        const int reps = 16;
+        const Cycles t0 = p.now();
+        for (int r = 0; r < reps; ++r) {
+            for (unsigned i = 0; i < group; ++i)
+                p.getU64(splitc::GlobalAddr::make(1, 8 * i),
+                         0x100 + 8 * i);
+            p.sync();
+        }
+        result = double(p.now() - t0) / (reps * group);
+        co_return;
+    });
+    return result;
+}
+
+double
+blockingReadCycles()
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &n0 = m.node(0);
+    n0.shell().setAnnex(1, {1, ReadMode::Uncached});
+    n0.loadU64(alpha::makeAnnexedVa(1, 0));
+    const Cycles t0 = n0.clock().now();
+    const int n = 32;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v =
+            n0.loadU64(alpha::makeAnnexedVa(1, 8 * (i % 8)));
+        n0.core().storeU64(0x100, v);
+    }
+    return double(n0.clock().now() - t0) / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 6: prefetch group latency (cycles per "
+                 "element, adjacent node)\n";
+
+    const double blocking = blockingReadCycles();
+    std::cout << "blocking read + store reference: " << blocking
+              << " cycles\n\n";
+
+    probes::Table t({"group size", "raw prefetch (cy/elem)",
+                     "Split-C get (cy/elem)"});
+    for (unsigned group : {1u, 2u, 4u, 8u, 12u, 16u}) {
+        t.addRow(group, rawGroupCyclesPerElement(group),
+                 getGroupCyclesPerElement(group));
+    }
+    t.print();
+
+    probes::Table key({"landmark", "model", "paper (Sec. 5.2)"});
+    key.addRow("single prefetch vs blocking read",
+               rawGroupCyclesPerElement(1) - blocking,
+               "~+15 cycles");
+    key.addRow("group of 16", rawGroupCyclesPerElement(16),
+               "31 cycles per prefetch/pop");
+    key.print();
+
+    return 0;
+}

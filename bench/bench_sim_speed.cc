@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Host-side simulator throughput (google-benchmark): how fast the
+ * model itself executes simulated operations. Not a paper figure —
+ * this guards the usability of the library (slow models make the
+ * Figure 9 sweeps impractical).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alpha/address.hh"
+#include "em3d/em3d.hh"
+#include "machine/machine.hh"
+#include "shell/annex.hh"
+
+using namespace t3dsim;
+
+namespace
+{
+
+void
+BM_LocalCacheHit(benchmark::State &state)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &node = m.node(0);
+    node.core().loadU64(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(node.core().loadU64(0x1000));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalCacheHit);
+
+void
+BM_LocalMiss(benchmark::State &state)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &node = m.node(0);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.core().loadU64(a));
+        a = (a + 32) % (8 * MiB);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalMiss);
+
+void
+BM_LocalStore(benchmark::State &state)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &node = m.node(0);
+    Addr a = 0;
+    for (auto _ : state) {
+        node.core().storeU64(a, 1);
+        a = (a + 32) % (8 * MiB);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalStore);
+
+void
+BM_RemoteUncachedRead(benchmark::State &state)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &node = m.node(0);
+    node.shell().setAnnex(1, {1, shell::ReadMode::Uncached});
+    const Addr va = alpha::makeAnnexedVa(1, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(node.loadU64(va));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteUncachedRead);
+
+void
+BM_RemoteWrite(benchmark::State &state)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    auto &node = m.node(0);
+    node.shell().setAnnex(1, {1, shell::ReadMode::Uncached});
+    Addr a = 0;
+    for (auto _ : state) {
+        node.storeU64(alpha::makeAnnexedVa(1, a), 1);
+        a = (a + 32) % (64 * MiB / 2);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteWrite);
+
+void
+BM_Em3dIteration(benchmark::State &state)
+{
+    em3d::Config cfg;
+    cfg.nodesPerPe = 50;
+    cfg.degree = 5;
+    cfg.remoteFraction = 0.3;
+    for (auto _ : state) {
+        auto result = em3d::run(cfg, em3d::Version::Get, 4);
+        benchmark::DoNotOptimize(result.usPerEdge);
+    }
+}
+BENCHMARK(BM_Em3dIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * §3.2/§3.4 annex management table: the 23-cycle update cost, the
+ * single-register vs. hashed-table policy comparison ("no clear
+ * performance advantage"), and a demonstration of the write-buffer
+ * synonym hazard that rules out careless multi-register use.
+ */
+
+#include <iostream>
+
+#include "alpha/address.hh"
+#include "machine/machine.hh"
+#include "probes/table.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+using namespace t3dsim;
+using shell::ReadMode;
+
+namespace
+{
+
+/** PE0 reads one word from each of @p targets PEs, @p rounds times. */
+Cycles
+roundRobinCost(splitc::AnnexPolicy policy, unsigned targets, int rounds)
+{
+    machine::Machine m(machine::MachineConfig::t3d(16));
+    splitc::SplitcConfig cfg;
+    cfg.annexPolicy = policy;
+    Cycles result = 0;
+    splitc::runSpmd(
+        m,
+        [&](splitc::Proc &p) -> splitc::ProcTask {
+            if (p.pe() != 0)
+                co_return;
+            for (unsigned t = 1; t <= targets; ++t) // warm
+                p.readU64(splitc::GlobalAddr::make(t, 0));
+            const Cycles t0 = p.now();
+            for (int r = 0; r < rounds; ++r) {
+                for (unsigned t = 1; t <= targets; ++t)
+                    p.readU64(splitc::GlobalAddr::make(t, 0));
+            }
+            result = (p.now() - t0) / (rounds * targets);
+            co_return;
+        },
+        cfg);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Annex register management (Sec. 3.2/3.4)\n";
+
+    // Update cost.
+    machine::Machine m(machine::MachineConfig::t3d(4));
+    auto &n0 = m.node(0);
+    const Cycles t0 = n0.clock().now();
+    n0.shell().setAnnex(1, {1, ReadMode::Uncached});
+    const Cycles update = n0.clock().now() - t0;
+
+    probes::Table t({"measurement", "model", "paper"});
+    t.addRow("annex update (store-conditional)",
+             std::to_string(update) + " cy", "23 cy");
+    t.addRow("single register, 4-target round robin (cy/read)",
+             roundRobinCost(splitc::AnnexPolicy::SingleReload, 4, 8),
+             "update every access");
+    t.addRow("hashed table, 4-target round robin (cy/read)",
+             roundRobinCost(splitc::AnnexPolicy::HashedTable, 4, 8),
+             "lookup every access");
+    t.addRow("single register, 12 targets",
+             roundRobinCost(splitc::AnnexPolicy::SingleReload, 12, 8),
+             "-");
+    t.addRow("hashed table, 12 targets",
+             roundRobinCost(splitc::AnnexPolicy::HashedTable, 12, 8),
+             "-");
+    t.print();
+    std::cout << "paper's conclusion: the savings of a table lookup "
+                 "relative to a 23-cycle reload are small — a single "
+                 "annex entry could have sufficed\n\n";
+
+    // The synonym hazard demonstration (the reason multi-register
+    // schemes need care).
+    n0.shell().setAnnex(1, {0, ReadMode::Uncached});
+    n0.shell().setAnnex(2, {0, ReadMode::Uncached});
+    const Addr offset = 0x8000;
+    n0.storage().writeU64(offset, 0xaaaa);
+    n0.storeU64(alpha::makeAnnexedVa(1, offset), 0xbbbb);
+    const std::uint64_t synonym_read =
+        n0.loadU64(alpha::makeAnnexedVa(2, offset));
+    std::cout << "write-buffer synonym probe: wrote 0xbbbb through "
+                 "annex 1, read through annex 2 -> 0x"
+              << std::hex << synonym_read << std::dec
+              << (synonym_read == 0xaaaa
+                      ? " (STALE — the Sec. 3.4 hazard)"
+                      : " (fresh)")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * §6.3 bulk-get mechanism crossover: the BLT costs 180 us to start,
+ * during which the prefetch queue can move ~7,900 bytes — so bulk_get
+ * uses prefetch below that size and the BLT above it. This bench
+ * measures the model's initiation-time budget and locates the actual
+ * crossover empirically.
+ */
+
+#include <iostream>
+
+#include "machine/machine.hh"
+#include "probes/table.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+#include "profile.hh"
+
+using namespace t3dsim;
+
+namespace
+{
+
+constexpr Addr remoteBase = 0x100000;
+constexpr Addr localBase = 0x400000;
+
+/** Elapsed cycles to complete a bulk read of @p bytes. */
+Cycles
+elapsedFor(bool use_blt, std::size_t bytes)
+{
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    Cycles elapsed = 0;
+    splitc::runSpmd(m, [&](splitc::Proc &p) -> splitc::ProcTask {
+        if (p.pe() != 0)
+            co_return;
+        const Cycles t0 = p.now();
+        if (use_blt)
+            p.bulkReadBlt(localBase,
+                          splitc::GlobalAddr::make(1, remoteBase),
+                          bytes);
+        else
+            p.bulkReadPrefetch(localBase,
+                               splitc::GlobalAddr::make(1, remoteBase),
+                               bytes);
+        elapsed = p.now() - t0;
+        co_return;
+    });
+    return elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Bulk-get crossover (Sec. 6.3)\n";
+
+    machine::Machine m(machine::MachineConfig::t3d(2));
+    const Cycles startup = m.config().shell.bltStartupCycles;
+    std::cout << "BLT initiation: " << cyclesToUs(startup)
+              << " us (paper: 180 us)\n";
+
+    // Bytes the prefetch mechanism moves during one BLT startup.
+    const std::size_t probe_bytes = 16 * KiB;
+    const Cycles prefetch_elapsed = elapsedFor(false, probe_bytes);
+    const double bytes_per_cycle =
+        double(probe_bytes) / double(prefetch_elapsed);
+    const double bytes_in_startup = bytes_per_cycle * double(startup);
+    std::cout << "prefetch data moved in one BLT startup: "
+              << bytes_in_startup << " bytes (paper: ~7,900)\n\n";
+
+    // Locate the empirical total-time crossover.
+    probes::Table t({"size", "prefetch (us)", "BLT (us)", "winner"});
+    std::size_t crossover = 0;
+    for (std::size_t bytes = 1 * KiB; bytes <= 256 * KiB; bytes *= 2) {
+        const Cycles pf = elapsedFor(false, bytes);
+        const Cycles blt = elapsedFor(true, bytes);
+        if (crossover == 0 && blt < pf)
+            crossover = bytes;
+        t.addRow(bench::sizeLabel(bytes), cyclesToUs(pf),
+                 cyclesToUs(blt), blt < pf ? "BLT" : "prefetch");
+    }
+    t.print();
+    std::cout << "blocking-transfer crossover: ~"
+              << bench::sizeLabel(crossover)
+              << " (paper: ~16 KB for blocking bulk_read; 7,900 B "
+                 "initiation-overlap rule for bulk_get)\n";
+
+    return 0;
+}

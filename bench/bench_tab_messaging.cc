@@ -1,0 +1,92 @@
+/**
+ * @file
+ * §7.3/§7.4 messaging cost table: hardware message send (813 ns) vs.
+ * the OS-mediated receive (25 us interrupt, +33 us handler switch),
+ * fetch&increment (~1 us), and the shared-memory Active-Message
+ * replacement (deposit ~2.9 us, dispatch ~1.5 us).
+ */
+
+#include <iostream>
+
+#include "machine/machine.hh"
+#include "probes/table.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+using namespace t3dsim;
+
+int
+main()
+{
+    std::cout << "Messaging primitives (Sec. 7.3/7.4)\n";
+
+    machine::Machine m(machine::MachineConfig::t3d(4));
+
+    double send_ns = 0, recv_us = 0, handler_us = 0, fi_us = 0,
+        deposit_us = 0, dispatch_us = 0;
+
+    splitc::runSpmd(m, [&](splitc::Proc &p) -> splitc::ProcTask {
+        p.registerAmHandler(
+            32, [](splitc::Proc &,
+                   const std::array<std::uint64_t, 4> &) {});
+        if (p.pe() == 0) {
+            // Hardware message send.
+            Cycles t0 = p.now();
+            p.sendMessage(1, {1, 2, 3, 4});
+            send_ns = cyclesToNs(p.now() - t0);
+            p.sendMessage(1, {5, 6, 7, 8});
+
+            // Fetch&increment (register 1; register 0 allocates AM
+            // queue slots).
+            t0 = p.now();
+            p.fetchInc(1, 1);
+            fi_us = cyclesToUs(p.now() - t0);
+
+            // AM deposit.
+            p.amDeposit(1, 32, {0, 0, 0, 0}); // warm
+            t0 = p.now();
+            p.amDeposit(1, 32, {1, 2, 3, 4});
+            deposit_us = cyclesToUs(p.now() - t0);
+            co_await p.barrier();
+        } else if (p.pe() == 1) {
+            co_await p.barrier();
+            // Hardware message receive (interrupt path).
+            Cycles t0 = p.now();
+            p.takeMessage(false);
+            recv_us = cyclesToUs(p.now() - t0);
+            // Receive with dispatch to a user handler.
+            t0 = p.now();
+            p.takeMessage(true);
+            handler_us = cyclesToUs(p.now() - t0);
+
+            // AM dispatch.
+            t0 = p.now();
+            p.amPoll();
+            dispatch_us = cyclesToUs(p.now() - t0);
+            p.amPoll();
+        } else {
+            co_await p.barrier();
+        }
+        co_return;
+    });
+
+    probes::Table t({"operation", "model", "paper"});
+    t.addRow("message send (PAL call)",
+             std::to_string(send_ns) + " ns", "813 ns (122 cy)");
+    t.addRow("message receive (interrupt)",
+             std::to_string(recv_us) + " us", "25 us");
+    t.addRow("receive + handler switch",
+             std::to_string(handler_us) + " us", "25 + 33 us");
+    t.addRow("fetch&increment (remote)",
+             std::to_string(fi_us) + " us", "~1 us");
+    t.addRow("AM deposit (4+1 words)",
+             std::to_string(deposit_us) + " us", "2.9 us");
+    t.addRow("AM dispatch + access",
+             std::to_string(dispatch_us) + " us", "1.5 us");
+    t.print();
+
+    std::cout << "conclusion (Sec. 7.4): building message queues from "
+                 "shared-memory primitives beats the 25 us interrupt "
+                 "path by an order of magnitude\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: rendering a stride-probe
+ * latency profile as the paper's figures tabulate it.
+ */
+
+#ifndef T3DSIM_BENCH_PROFILE_HH
+#define T3DSIM_BENCH_PROFILE_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "probes/stride.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::bench
+{
+
+/** "64", "16K", "2M" style size label. */
+inline std::string
+sizeLabel(std::uint64_t bytes)
+{
+    if (bytes >= MiB && bytes % MiB == 0)
+        return std::to_string(bytes / MiB) + "M";
+    if (bytes >= KiB && bytes % KiB == 0)
+        return std::to_string(bytes / KiB) + "K";
+    return std::to_string(bytes);
+}
+
+/** Print a (array size x stride) ns-per-op matrix. */
+inline void
+printProfile(const std::string &title,
+             const std::vector<probes::StridePoint> &points,
+             std::uint64_t min_array = 4 * KiB)
+{
+    std::cout << "\n== " << title << " ==\n";
+    std::cout << "rows: array size; cols: stride; cell: avg ns/op\n";
+
+    std::vector<std::uint64_t> strides;
+    std::uint64_t max_array = 0;
+    for (const auto &p : points)
+        max_array = std::max(max_array, p.arrayBytes);
+    for (const auto &p : points) {
+        if (p.arrayBytes == max_array)
+            strides.push_back(p.strideBytes);
+    }
+
+    std::cout << "  array\\stride";
+    for (auto s : strides)
+        std::cout << "\t" << sizeLabel(s);
+    std::cout << "\n";
+
+    for (std::uint64_t array = min_array; array <= max_array;
+         array *= 2) {
+        std::cout << "  " << sizeLabel(array);
+        for (auto s : strides) {
+            const auto *p = probes::findPoint(points, array, s);
+            if (!p) {
+                std::cout << "\t-";
+                continue;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1f", p->avgNsPerOp);
+            std::cout << "\t" << buf;
+        }
+        std::cout << "\n";
+    }
+}
+
+} // namespace t3dsim::bench
+
+#endif // T3DSIM_BENCH_PROFILE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Message-driven execution (§7): a pipeline of PEs where each stage
+ * starts computing as soon as its input data has arrived
+ * (store_sync), rather than waiting for a global barrier — and a
+ * demonstration of the shared-memory Active-Message layer, including
+ * the atomic remote byte write that fixes the §4.5 mismatch.
+ */
+
+#include <iostream>
+
+#include "machine/machine.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+using namespace t3dsim;
+using splitc::GlobalAddr;
+using splitc::Proc;
+using splitc::ProcTask;
+
+int
+main()
+{
+    constexpr std::uint32_t pes = 8;
+    constexpr std::uint32_t words = 16;
+
+    machine::Machine machine(machine::MachineConfig::t3d(pes));
+    const Addr buf = 0x10000;
+
+    // Stage p waits for `words` quadwords from stage p-1, increments
+    // them, and streams them to stage p+1. Stage 0 seeds the
+    // pipeline. No barriers anywhere: pure message-driven flow.
+    auto finish = splitc::runSpmd(machine, [&](Proc &p) -> ProcTask {
+        auto &core = p.node().core();
+        if (p.pe() == 0) {
+            for (std::uint32_t i = 0; i < words; ++i)
+                p.storeU64(GlobalAddr::make(1, buf + 8 * i), i);
+        } else {
+            co_await p.storeSync(words * 8);
+            if (p.pe() + 1 < pes) {
+                for (std::uint32_t i = 0; i < words; ++i) {
+                    const std::uint64_t v = core.loadU64(buf + 8 * i);
+                    p.storeU64(
+                        GlobalAddr::make(p.pe() + 1, buf + 8 * i),
+                        v + 1);
+                }
+            }
+        }
+        co_return;
+    });
+
+    // The last stage's data has been incremented once per hop.
+    auto &last = machine.node(pes - 1).storage();
+    std::cout << "last stage received:";
+    for (std::uint32_t i = 0; i < 4; ++i)
+        std::cout << " " << last.readU64(buf + 8 * i);
+    std::cout << " ... (expect i + " << pes - 2 << ")\n";
+    std::cout << "pipeline latency: "
+              << cyclesToUs(*std::max_element(finish.begin(),
+                                              finish.end()))
+              << " us\n\n";
+
+    // --- Active Messages: atomic remote byte writes (§4.5/§7.4) ---
+    machine::Machine m2(machine::MachineConfig::t3d(4));
+    m2.node(3).storage().writeU64(0x20000, 0);
+
+    splitc::runSpmd(m2, [&](Proc &p) -> ProcTask {
+        auto word = GlobalAddr::make(3, 0x20000);
+        if (p.pe() < 3) {
+            // Three PEs write three different bytes of one word.
+            p.amWriteByte(word + p.pe(), 0x11 * (p.pe() + 1));
+            co_await p.barrier();
+        } else {
+            co_await p.barrier();
+            while (p.amPoll()) {
+            }
+            p.node().mb();
+        }
+        co_return;
+    });
+
+    std::cout << "AM byte writes into one shared word: 0x" << std::hex
+              << m2.node(3).storage().readU64(0x20000) << std::dec
+              << " (expect 0x332211 — no §4.5 clobbering)\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Virtual / physical address layout of the modeled T3D node (§3.2).
+ *
+ * The 21064 supports 43-bit virtual and 32-bit physical addresses.
+ * The T3D page tables provide shared segments of 32 regions of 128 MB
+ * each, one per DTB-Annex register: the virtual-to-physical
+ * translation carries the 5-bit annex index through into the high
+ * bits of the 32-bit physical address (annex index 31..27, offset
+ * 26..0). Annex index 0 always refers to the local processor.
+ *
+ * We model:
+ *  - plain local virtual addresses in [0, 128 MB), identity-mapped to
+ *    physical addresses with annex index 0;
+ *  - annexed virtual addresses at segBase | (annexIdx << 27) | offset.
+ *
+ * Because the annex index lands in the *high* bits of the physical
+ * address and the data cache is direct-mapped and indexed by low
+ * bits, two synonyms (same offset, different annex index) always map
+ * to the same cache line — which is why caching synonyms is benign
+ * while the write buffer is not (§3.4).
+ */
+
+#ifndef T3DSIM_ALPHA_ADDRESS_HH
+#define T3DSIM_ALPHA_ADDRESS_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::alpha
+{
+
+/** Number of DTB-Annex index bits carried in an address. */
+constexpr unsigned annexIdxBits = 5;
+
+/** Number of annex registers (32 on the T3D, §1.2). */
+constexpr unsigned numAnnexRegs = 1u << annexIdxBits;
+
+/** Bits of offset within one annex segment (128 MB, §3.2). */
+constexpr unsigned segOffsetBits = 27;
+
+/** Byte size of one annex segment / one node's local memory. */
+constexpr Addr segBytes = Addr{1} << segOffsetBits;
+
+/** Base of the annexed (shared-segment) virtual address region. */
+constexpr Addr segBase = Addr{1} << 40;
+
+/** True if @p va lies in the annexed shared-segment region. */
+constexpr bool
+vaIsAnnexed(Addr va)
+{
+    return va >= segBase;
+}
+
+/** Compose an annexed virtual address from (annex index, offset). */
+constexpr Addr
+makeAnnexedVa(unsigned annex_idx, Addr offset)
+{
+    return segBase | (Addr{annex_idx} << segOffsetBits) |
+        (offset & (segBytes - 1));
+}
+
+/** Annex index field of a 32-bit physical address. */
+constexpr unsigned
+annexIdxOfPa(Addr pa)
+{
+    return static_cast<unsigned>((pa >> segOffsetBits) &
+                                 (numAnnexRegs - 1));
+}
+
+/** Offset-within-segment field of a physical address. */
+constexpr Addr
+offsetOfPa(Addr pa)
+{
+    return pa & (segBytes - 1);
+}
+
+/** Compose a physical address from (annex index, offset). */
+constexpr Addr
+makePa(unsigned annex_idx, Addr offset)
+{
+    return (Addr{annex_idx} << segOffsetBits) | (offset & (segBytes - 1));
+}
+
+/**
+ * Translate a virtual address to the 32-bit physical address used by
+ * the cache, write buffer and shell. Plain local VAs below segBytes
+ * map identically (annex index 0).
+ */
+constexpr Addr
+paOfVa(Addr va)
+{
+    if (vaIsAnnexed(va))
+        return va & ((Addr{1} << (segOffsetBits + annexIdxBits)) - 1);
+    return va;
+}
+
+} // namespace t3dsim::alpha
+
+#endif // T3DSIM_ALPHA_ADDRESS_HH

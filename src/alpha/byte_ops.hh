@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Alpha byte-manipulation instructions (§1.2, §4.5).
+ *
+ * The 21064 has no byte loads/stores; sub-word data is handled with
+ * register-to-register extract / insert / mask operations. These are
+ * modeled as pure functions; the core charges one cycle per use.
+ * Their existence is why global-pointer arithmetic is fast (§3.3) and
+ * their *non-atomicity* is why shared byte writes are broken (§4.5):
+ * a byte store compiles to load / insert+mask / store, and concurrent
+ * writers to different bytes of the same word clobber each other.
+ */
+
+#ifndef T3DSIM_ALPHA_BYTE_OPS_HH
+#define T3DSIM_ALPHA_BYTE_OPS_HH
+
+#include <cstdint>
+
+namespace t3dsim::alpha
+{
+
+/** EXTBL: extract byte @p idx of @p value into the low byte. */
+constexpr std::uint64_t
+extbl(std::uint64_t value, unsigned idx)
+{
+    return (value >> ((idx & 7) * 8)) & 0xff;
+}
+
+/** EXTWL: extract the 16-bit word starting at byte @p idx. */
+constexpr std::uint64_t
+extwl(std::uint64_t value, unsigned idx)
+{
+    return (value >> ((idx & 7) * 8)) & 0xffff;
+}
+
+/** INSBL: position the low byte of @p value at byte @p idx. */
+constexpr std::uint64_t
+insbl(std::uint64_t value, unsigned idx)
+{
+    return (value & 0xff) << ((idx & 7) * 8);
+}
+
+/** MSKBL: clear byte @p idx of @p value. */
+constexpr std::uint64_t
+mskbl(std::uint64_t value, unsigned idx)
+{
+    return value & ~(std::uint64_t{0xff} << ((idx & 7) * 8));
+}
+
+/** ZAP: clear every byte of @p value whose bit is set in @p mask. */
+constexpr std::uint64_t
+zap(std::uint64_t value, unsigned mask)
+{
+    std::uint64_t result = value;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (mask & (1u << i))
+            result &= ~(std::uint64_t{0xff} << (i * 8));
+    }
+    return result;
+}
+
+/** ZAPNOT: keep only the bytes whose bit is set in @p mask. */
+constexpr std::uint64_t
+zapnot(std::uint64_t value, unsigned mask)
+{
+    return value & ~zap(~std::uint64_t{0}, mask);
+}
+
+/**
+ * Compose a read-modify-write byte update of @p word: the sequence a
+ * compiler emits for a byte store (EXTBL-free path: MSKBL + INSBL).
+ */
+constexpr std::uint64_t
+mergeByte(std::uint64_t word, unsigned idx, std::uint8_t byte)
+{
+    return mskbl(word, idx) | insbl(byte, idx);
+}
+
+} // namespace t3dsim::alpha
+
+#endif // T3DSIM_ALPHA_BYTE_OPS_HH

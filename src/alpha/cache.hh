@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Data-holding direct-mapped cache model.
+ *
+ * Used for the T3D node's 8 KB write-through read-allocate on-chip
+ * D-cache (32-byte lines, §1.2/§2.2) and, with a different geometry,
+ * for the DEC workstation's 512 KB board-level cache (§2.2).
+ *
+ * Lines hold real data so that the *incoherence* of cached remote
+ * reads (§4.2/§4.4) is observable: a line cached from a remote node
+ * goes stale when the owner updates its memory.
+ */
+
+#ifndef T3DSIM_ALPHA_CACHE_HH
+#define T3DSIM_ALPHA_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::alpha
+{
+
+/** Direct-mapped, physically indexed and tagged, data-holding cache. */
+class DirectMappedCache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity; must be a power of two.
+     * @param line_bytes Line size; must be a power of two.
+     */
+    DirectMappedCache(std::uint64_t size_bytes, std::uint64_t line_bytes);
+
+    /** True if the line holding @p pa is present. */
+    bool probe(Addr pa) const;
+
+    /** Number of lines. */
+    std::uint64_t numLines() const { return _numLines; }
+
+    std::uint64_t lineBytes() const { return _lineBytes; }
+    std::uint64_t sizeBytes() const { return _numLines * _lineBytes; }
+
+    /** Cache-line index of @p pa. */
+    std::uint64_t indexOf(Addr pa) const;
+
+    /** Tag of @p pa. */
+    std::uint64_t tagOf(Addr pa) const;
+
+    /**
+     * Install the line holding @p pa with @p line_data (lineBytes()
+     * bytes, line-aligned). Evicts whatever was there (write-through
+     * caches have nothing dirty to write back).
+     */
+    void fill(Addr pa, const std::uint8_t *line_data);
+
+    /** Read @p len bytes at @p pa; the line must be present. */
+    void read(Addr pa, void *dst, std::size_t len) const;
+
+    /**
+     * Write-through update: if the line holding @p pa is present,
+     * update its bytes; otherwise do nothing (no write-allocate).
+     * @return true if the line was present.
+     */
+    bool updateIfPresent(Addr pa, const void *src, std::size_t len);
+
+    /** Invalidate the line holding @p pa if present and matching. */
+    void invalidate(Addr pa);
+
+    /** Invalidate every line. */
+    void invalidateAll();
+
+    /** Count of currently valid lines (test support). */
+    std::uint64_t validLines() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Line-aligned base address of the line holding @p pa. */
+    Addr lineBase(Addr pa) const { return pa & ~(_lineBytes - 1); }
+
+    std::uint64_t _numLines;
+    std::uint64_t _lineBytes;
+    std::uint64_t _indexMask;
+    std::vector<Line> _lines;
+};
+
+} // namespace t3dsim::alpha
+
+#endif // T3DSIM_ALPHA_CACHE_HH

@@ -1,0 +1,200 @@
+#include "alpha/core.hh"
+
+#include <algorithm>
+
+#include "alpha/address.hh"
+#include "alpha/byte_ops.hh"
+#include "sim/logging.hh"
+
+namespace t3dsim::alpha
+{
+
+AlphaCore::AlphaCore(const CoreConfig &config, Clock &clock, Tlb &tlb,
+                     DirectMappedCache &dcache, WriteBuffer &wb,
+                     mem::DramController &dram, mem::Storage &storage,
+                     DirectMappedCache *l2)
+    : _config(config), _clock(clock), _tlb(tlb), _dcache(dcache), _wb(wb),
+      _dram(dram), _storage(storage), _l2(l2)
+{
+}
+
+void
+AlphaCore::loadBytes(Addr va, void *dst, std::size_t len)
+{
+    ++_loads;
+    _wb.commitUpTo(_clock.now());
+    _clock.advance(_tlb.access(va));
+
+    const Addr pa = paOfVa(va);
+    if (_dcache.probe(pa)) {
+        ++_cacheHits;
+        _clock.advance(_config.loadHitCycles);
+        _dcache.read(pa, dst, len);
+        return;
+    }
+    ++_cacheMisses;
+
+    // A pending write-buffer entry for this line must reach memory
+    // before the miss can be serviced; the load stalls on the drain.
+    if (_wb.holdsLine(_clock.now(), pa)) {
+        Cycles done = _wb.drainAll(_clock.now());
+        _clock.advanceTo(done);
+        _wb.commitUpTo(done);
+    }
+
+    const Addr line_pa = pa & ~(_dcache.lineBytes() - 1);
+    const std::size_t line_bytes = _dcache.lineBytes();
+    std::vector<std::uint8_t> line(line_bytes);
+
+    if (_l2 && _l2->probe(pa)) {
+        _clock.advance(_config.l2HitCycles);
+        _l2->read(line_pa, line.data(), line_bytes);
+    } else {
+        // The annex index is consumed before memory: DRAM sees only
+        // the 27-bit segment offset, so synonyms share bank state.
+        auto access = _dram.access(_clock.now(), offsetOfPa(line_pa));
+        _clock.advanceTo(access.complete);
+        _storage.readBlock(offsetOfPa(line_pa), line.data(), line_bytes);
+        if (_l2)
+            _l2->fill(line_pa, line.data());
+    }
+
+    _dcache.fill(line_pa, line.data());
+    _dcache.read(pa, dst, len);
+}
+
+void
+AlphaCore::storeBytes(Addr va, const void *src, std::size_t len)
+{
+    ++_stores;
+    _wb.commitUpTo(_clock.now());
+    _clock.advance(_tlb.access(va));
+
+    const Addr pa = paOfVa(va);
+    // Write-through, no write-allocate: update any cached copies...
+    _dcache.updateIfPresent(pa, src, len);
+    if (_l2)
+        _l2->updateIfPresent(pa, src, len);
+    // ...and hand the store to the write buffer. The tag is
+    // one-shot: it applies only to the store it was latched for.
+    _clock.advance(_wb.write(_clock.now(), pa, src, len, _storeTag));
+    _storeTag = 0;
+}
+
+std::uint64_t
+AlphaCore::loadU64(Addr va)
+{
+    T3D_ASSERT((va & 7) == 0, "unaligned LDQ: va=", va);
+    std::uint64_t v = 0;
+    loadBytes(va, &v, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+AlphaCore::loadU32(Addr va)
+{
+    T3D_ASSERT((va & 3) == 0, "unaligned LDL: va=", va);
+    std::uint32_t v = 0;
+    loadBytes(va, &v, sizeof(v));
+    return v;
+}
+
+void
+AlphaCore::storeU64(Addr va, std::uint64_t value)
+{
+    T3D_ASSERT((va & 7) == 0, "unaligned STQ: va=", va);
+    storeBytes(va, &value, sizeof(value));
+}
+
+void
+AlphaCore::storeU32(Addr va, std::uint32_t value)
+{
+    T3D_ASSERT((va & 3) == 0, "unaligned STL: va=", va);
+    storeBytes(va, &value, sizeof(value));
+}
+
+std::uint8_t
+AlphaCore::loadU8(Addr va)
+{
+    const Addr aligned = va & ~Addr{7};
+    std::uint64_t word = loadU64(aligned);
+    chargeRegOps(1); // EXTBL
+    return static_cast<std::uint8_t>(
+        extbl(word, static_cast<unsigned>(va & 7)));
+}
+
+void
+AlphaCore::storeU8(Addr va, std::uint8_t value)
+{
+    // The 21064 has no byte stores: read-modify-write the containing
+    // quadword. NOT atomic (§4.5).
+    const Addr aligned = va & ~Addr{7};
+    std::uint64_t word = loadU64(aligned);
+    chargeRegOps(2); // MSKBL + INSBL
+    word = mergeByte(word, static_cast<unsigned>(va & 7), value);
+    storeU64(aligned, word);
+}
+
+void
+AlphaCore::mb()
+{
+    Cycles done = _wb.drainAll(_clock.now());
+    _clock.advance(_config.mbCycles);
+    _clock.syncTo(done);
+    _wb.commitUpTo(_clock.now());
+}
+
+void
+AlphaCore::chargeRegOps(unsigned n)
+{
+    _clock.advance(Cycles{n} * _config.regOpCycles);
+}
+
+void
+AlphaCore::charge(Cycles cycles)
+{
+    _clock.advance(cycles);
+}
+
+void
+AlphaCore::flushLine(Addr va)
+{
+    const Addr pa = paOfVa(va);
+    _dcache.invalidate(pa);
+    _clock.advance(_config.flushLineCycles);
+}
+
+void
+AlphaCore::flushAll()
+{
+    _dcache.invalidateAll();
+    _clock.advance(_config.flushAllCycles);
+}
+
+std::uint64_t
+AlphaCore::peekU64(Addr va) const
+{
+    const Addr pa = paOfVa(va);
+    std::uint64_t v = 0;
+    if (_dcache.probe(pa)) {
+        _dcache.read(pa, &v, sizeof(v));
+        return v;
+    }
+    v = _storage.readU64(offsetOfPa(pa));
+    // Overlay pending write-buffer bytes (the core's own view).
+    auto &wb = const_cast<WriteBuffer &>(_wb);
+    wb.forward(_clock.now(), pa, &v, sizeof(v));
+    return v;
+}
+
+void
+AlphaCore::pokeU64(Addr va, std::uint64_t value)
+{
+    const Addr pa = paOfVa(va);
+    _storage.writeU64(offsetOfPa(pa), value);
+    _dcache.updateIfPresent(pa, &value, sizeof(value));
+    if (_l2)
+        _l2->updateIfPresent(pa, &value, sizeof(value));
+}
+
+} // namespace t3dsim::alpha

@@ -1,0 +1,60 @@
+#include "alpha/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace t3dsim::alpha
+{
+
+Tlb::Tlb(const Config &config)
+    : _config(config), _entries(config.entries)
+{
+    T3D_ASSERT(_config.entries > 0, "TLB needs entries");
+    T3D_ASSERT(_config.pageBytes > 0, "TLB page size must be positive");
+}
+
+Cycles
+Tlb::access(Addr va)
+{
+    const std::uint64_t page = va / _config.pageBytes;
+    ++_useCounter;
+
+    Entry *victim = &_entries[0];
+    for (auto &entry : _entries) {
+        if (entry.valid && entry.page == page) {
+            entry.lastUse = _useCounter;
+            ++_hits;
+            return 0;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+
+    ++_misses;
+    victim->valid = true;
+    victim->page = page;
+    victim->lastUse = _useCounter;
+    return _config.missPenaltyCycles;
+}
+
+bool
+Tlb::contains(Addr va) const
+{
+    const std::uint64_t page = va / _config.pageBytes;
+    for (const auto &entry : _entries) {
+        if (entry.valid && entry.page == page)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : _entries)
+        entry.valid = false;
+}
+
+} // namespace t3dsim::alpha

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Translation look-aside buffer model (§2.2, §3.4).
+ *
+ * The T3D runs with very large pages, so its read-latency profile
+ * shows no TLB inflection and annexed (remote-segment) accesses do
+ * not meaningfully consume TLB reach — the property that makes
+ * multiple annex registers *safe* for the TLB even though they are
+ * unsafe for the write buffer (§3.4). The DEC workstation uses 8 KB
+ * pages, producing the inflection at 8 KB stride in Figure 1.
+ *
+ * Modeled as fully associative with LRU replacement; translation is
+ * identity (see alpha/address.hh) so the TLB only contributes a miss
+ * penalty.
+ */
+
+#ifndef T3DSIM_ALPHA_TLB_HH
+#define T3DSIM_ALPHA_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::alpha
+{
+
+/** Fully associative LRU TLB; timing-only. */
+class Tlb
+{
+  public:
+    struct Config
+    {
+        /** Number of entries. 21064 DTB: 32. */
+        unsigned entries = 32;
+
+        /** Page size; T3D preset uses huge (4 MB) pages. */
+        std::uint64_t pageBytes = 4 * MiB;
+
+        /** Cycles added by a miss (page-table walk via PALcode). */
+        Cycles missPenaltyCycles = 35;
+    };
+
+    explicit Tlb(const Config &config);
+
+    /**
+     * Touch the translation for @p va.
+     * @return Penalty cycles (0 on hit).
+     */
+    Cycles access(Addr va);
+
+    /** True if the page holding @p va is currently mapped. */
+    bool contains(Addr va) const;
+
+    /** Drop all entries. */
+    void flush();
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    const Config &config() const { return _config; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t page = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Config _config;
+    std::vector<Entry> _entries;
+    std::uint64_t _useCounter = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace t3dsim::alpha
+
+#endif // T3DSIM_ALPHA_TLB_HH

@@ -1,0 +1,163 @@
+#include "alpha/write_buffer.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::alpha
+{
+
+WriteBuffer::WriteBuffer(const Config &config, DrainPort &port)
+    : _config(config), _port(port)
+{
+    T3D_ASSERT(_config.entries > 0, "write buffer needs entries");
+}
+
+void
+WriteBuffer::issueSlot(Slot &slot, Cycles ready)
+{
+    T3D_ASSERT(!slot.scheduled, "double issue of write-buffer slot");
+    auto result = _port.drainLine(ready, slot.lineAddr,
+                                  slot.data.data(), slot.mask,
+                                  slot.tag);
+    slot.scheduled = true;
+    slot.completion = result.completion;
+    slot.deferCommit = result.deferCommit;
+}
+
+void
+WriteBuffer::issueDue(Cycles now)
+{
+    for (auto &slot : _slots) {
+        if (!slot.scheduled && slot.accept + _config.holdoffCycles <= now)
+            issueSlot(slot, slot.accept + _config.holdoffCycles);
+    }
+}
+
+void
+WriteBuffer::retireCompleted(Cycles now)
+{
+    while (!_slots.empty()) {
+        Slot &front = _slots.front();
+        if (!front.scheduled || front.completion > now)
+            break;
+        if (front.deferCommit)
+            _port.commitLine(front.lineAddr, front.data.data(), front.mask);
+        _slots.pop_front();
+    }
+}
+
+void
+WriteBuffer::commitUpTo(Cycles now)
+{
+    issueDue(now);
+    retireCompleted(now);
+}
+
+Cycles
+WriteBuffer::write(Cycles now, Addr pa, const void *src, std::size_t len,
+                   std::uint32_t tag)
+{
+    const Addr line = pa & ~(Addr{wbLineBytes} - 1);
+    const std::size_t off = pa - line;
+    T3D_ASSERT(off + len <= wbLineBytes, "store crosses a line boundary");
+
+    commitUpTo(now);
+
+    // Write-merging: coalesce into a pending same-line entry that has
+    // not yet issued to memory.
+    for (auto &slot : _slots) {
+        if (!slot.scheduled && slot.lineAddr == line &&
+            slot.tag == tag) {
+            std::memcpy(slot.data.data() + off, src, len);
+            for (std::size_t i = 0; i < len; ++i)
+                slot.mask |= 1u << (off + i);
+            ++_merges;
+            return _config.issueCycles;
+        }
+    }
+
+    // Need a fresh slot; stall while the buffer is full. Entries
+    // retire in FIFO order, so the stall lasts until the oldest
+    // entry's drain completes.
+    Cycles when = now;
+    while (_slots.size() >= _config.entries) {
+        // Full-buffer pressure forces every pending entry to memory.
+        for (auto &slot : _slots) {
+            if (!slot.scheduled)
+                issueSlot(slot, when);
+        }
+        when = std::max(when, _slots.front().completion);
+        retireCompleted(when);
+    }
+    _stallCycles += when - now;
+
+    Slot slot;
+    slot.lineAddr = line;
+    slot.tag = tag;
+    std::memcpy(slot.data.data() + off, src, len);
+    for (std::size_t i = 0; i < len; ++i)
+        slot.mask |= 1u << (off + i);
+    slot.accept = when;
+    _slots.push_back(slot);
+
+    return (when - now) + _config.issueCycles;
+}
+
+bool
+WriteBuffer::forward(Cycles now, Addr pa, void *buf, std::size_t len)
+{
+    commitUpTo(now);
+    auto *out = static_cast<std::uint8_t *>(buf);
+    bool any = false;
+    // Oldest-to-newest so newer pending bytes win.
+    for (const auto &slot : _slots) {
+        for (std::size_t i = 0; i < len; ++i) {
+            Addr byte_addr = pa + i;
+            if ((byte_addr & ~(Addr{wbLineBytes} - 1)) != slot.lineAddr)
+                continue;
+            std::size_t off = byte_addr - slot.lineAddr;
+            if (slot.mask & (1u << off)) {
+                out[i] = slot.data[off];
+                any = true;
+            }
+        }
+    }
+    return any;
+}
+
+bool
+WriteBuffer::holdsLine(Cycles now, Addr pa)
+{
+    commitUpTo(now);
+    const Addr line = pa & ~(Addr{wbLineBytes} - 1);
+    for (const auto &slot : _slots) {
+        if (slot.lineAddr == line)
+            return true;
+    }
+    return false;
+}
+
+Cycles
+WriteBuffer::drainAll(Cycles now)
+{
+    commitUpTo(now);
+    Cycles done = now;
+    for (auto &slot : _slots) {
+        if (!slot.scheduled)
+            issueSlot(slot, now);
+        done = std::max(done, slot.completion);
+    }
+    return done;
+}
+
+unsigned
+WriteBuffer::occupancy(Cycles now)
+{
+    commitUpTo(now);
+    return static_cast<unsigned>(_slots.size());
+}
+
+} // namespace t3dsim::alpha

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * EM3D (§8): propagation of electromagnetic waves through objects in
+ * three dimensions, reduced (as in the paper) to leapfrog updates on
+ * an irregular bipartite graph of E and H field nodes spread across
+ * the machine.
+ *
+ * Six program versions reproduce Figure 9's optimization ladder:
+ *
+ *   Simple  — every edge performs a blocking (possibly remote) read.
+ *   Bundle  — remote values are fetched once per step into local
+ *             ghost nodes; compute reads only local memory.
+ *   Unroll  — Bundle plus an unrolled/software-pipelined compute
+ *             phase (cheaper per-edge instruction overhead).
+ *   Get     — the ghost fill is pipelined with split-phase gets.
+ *   Put     — the *owner* of each value pushes it into the
+ *             consumers' ghost slots with puts.
+ *   Bulk    — outgoing values are gathered into a contiguous stage
+ *             buffer and moved with one bulk transfer.
+ *
+ * The synthetic kernel graph follows the paper: a configurable
+ * number of nodes per processor, fixed degree, and a dial for the
+ * fraction of edges that cross processors. Remote edges reference a
+ * uniformly random other processor; the resulting interleaving of
+ * destination PEs is what makes repeated annex set-up visible and
+ * reproduces Figure 9's Put-beats-Get and Bulk-beats-Put ordering
+ * (§8: Bulk "avoids repeated Annex set-up operations").
+ */
+
+#ifndef T3DSIM_EM3D_EM3D_HH
+#define T3DSIM_EM3D_EM3D_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "splitc/config.hh"
+#include "splitc/global_ptr.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::em3d
+{
+
+/** Workload parameters (§8: 500 nodes/PE, degree 20). */
+struct Config
+{
+    std::uint32_t nodesPerPe = 500;
+    std::uint32_t degree = 20;
+
+    /** Fraction of edges whose producer lives on another PE. */
+    double remoteFraction = 0.2;
+
+    std::uint64_t seed = 42;
+    int iterations = 1;
+
+    /** @name Per-edge compute-phase costs (cycles), calibrated so
+     *  the optimized all-local versions land at the paper's 0.37 us
+     *  per edge (§8). */
+    /// @{
+    Cycles computeSimpleCycles = 72;
+    Cycles computeBundleCycles = 70;
+    Cycles computeOptCycles = 53;
+    /// @}
+};
+
+/** The six Figure 9 program versions. */
+enum class Version
+{
+    Simple,
+    Bundle,
+    Unroll,
+    Get,
+    Put,
+    Bulk,
+};
+
+/** Human-readable version name (as in Figure 9's legend). */
+const char *versionName(Version v);
+
+/** All versions in Figure 9 order. */
+inline constexpr Version allVersions[] = {
+    Version::Simple, Version::Bundle, Version::Unroll,
+    Version::Get,    Version::Put,    Version::Bulk,
+};
+
+/** One consumer-side dependency edge. */
+struct Edge
+{
+    /** Local index of the consuming node on its PE. */
+    std::uint32_t dstIdx;
+
+    /** Producer PE and local index of the producer value. */
+    PeId srcPe;
+    std::uint32_t srcIdx;
+
+    /** Edge weight. */
+    double weight;
+
+    /**
+     * Local address of the value during the compute phase (the
+     * producer's array for local edges, a ghost slot for remote
+     * ones). Filled in by Graph::build.
+     */
+    Addr localValueAddr = 0;
+};
+
+/** A remote value to pull into a ghost slot (Bundle/Get versions). */
+struct Fetch
+{
+    PeId srcPe;
+    std::uint32_t srcIdx;
+    std::uint32_t ghostSlot;
+};
+
+/** A local value to push into a consumer's ghost slot (Put). */
+struct Push
+{
+    std::uint32_t srcIdx;
+    PeId dstPe;
+    std::uint32_t ghostSlot;
+};
+
+/** The built graph: host-side structure + simulated memory layout. */
+class Graph
+{
+  public:
+    /**
+     * Generate the synthetic kernel graph and allocate the value /
+     * ghost / stage arrays symmetrically across @p machine.
+     */
+    static Graph build(machine::Machine &machine, const Config &config);
+
+    /** Consumer-side view of one producer's contribution. */
+    struct ProducerGroup
+    {
+        PeId srcPe;
+        std::uint32_t firstSlot;
+
+        /** Producer-local indices, in ghost-slot order. */
+        std::vector<std::uint32_t> srcIdxs;
+
+        /** Where the producer stages these values (Bulk version). */
+        Addr producerStageOffset = 0;
+    };
+
+    /** Producer-side view of one consumer's staging region (Bulk). */
+    struct StageGroup
+    {
+        PeId dstPe;
+        Addr stageOffset;
+        std::uint32_t dstFirstSlot;
+        std::vector<std::uint32_t> srcIdxs;
+    };
+
+    /** One field direction's per-PE data. */
+    struct Side
+    {
+        /** Edges consumed when updating this side's nodes, grouped
+         *  by destination node. */
+        std::vector<Edge> edges;
+
+        /** Remote values to pull (deduplicated), in slot order —
+         *  slots are grouped by producer. */
+        std::vector<Fetch> fetches;
+
+        /** Consumer view, one entry per producer. */
+        std::vector<ProducerGroup> groups;
+
+        /** Producer view: values to push, in node order (the
+         *  destination-PE interleaving causes annex churn). */
+        std::vector<Push> pushes;
+
+        /** Producer view of per-consumer staging regions (Bulk). */
+        std::vector<StageGroup> stageGroups;
+
+        std::uint32_t ghostCount = 0;
+    };
+
+    struct PerPe
+    {
+        Side e; ///< updating E nodes (consumes H values)
+        Side h; ///< updating H nodes (consumes E values)
+    };
+
+    Config config;
+    std::uint32_t pes = 0;
+
+    /** @name Symmetric local offsets of the simulated arrays */
+    /// @{
+    Addr eValsBase = 0;
+    Addr hValsBase = 0;
+    Addr eGhostBase = 0; ///< ghosts of remote H values (E update)
+    Addr hGhostBase = 0; ///< ghosts of remote E values (H update)
+    Addr stageBase = 0;  ///< producer-side staging for Bulk
+    /// @}
+
+    std::vector<PerPe> perPe;
+
+    /** Directed edges per PE per iteration (both phases). */
+    std::uint64_t edgesPerPe() const;
+
+    /** Deterministic checksum of all E and H values (validation). */
+    double checksum(machine::Machine &machine) const;
+};
+
+/** Outcome of one EM3D run. */
+struct Result
+{
+    Version version;
+    double usPerEdge = 0;
+    Cycles elapsed = 0;
+    std::uint64_t edgesPerPePerIter = 0;
+    double checksum = 0;
+};
+
+/**
+ * Build the graph on a fresh machine of @p pes processors and run
+ * @p version for config.iterations leapfrog steps.
+ *
+ * @param splitc_config Runtime policy knobs (annex management etc.),
+ *        for ablation studies.
+ */
+Result run(const Config &config, Version version, std::uint32_t pes,
+           const splitc::SplitcConfig &splitc_config = {});
+
+/** As above, on a caller-supplied machine configuration. */
+Result run(const Config &config, Version version,
+           const machine::MachineConfig &machine_config,
+           const splitc::SplitcConfig &splitc_config = {});
+
+} // namespace t3dsim::em3d
+
+#endif // T3DSIM_EM3D_EM3D_HH

@@ -1,0 +1,278 @@
+#include "em3d/em3d.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "splitc/spread.hh"
+
+namespace t3dsim::em3d
+{
+
+const char *
+versionName(Version v)
+{
+    switch (v) {
+      case Version::Simple:
+        return "Simple";
+      case Version::Bundle:
+        return "Bundle";
+      case Version::Unroll:
+        return "Unroll";
+      case Version::Get:
+        return "Get";
+      case Version::Put:
+        return "Put";
+      case Version::Bulk:
+        return "Bulk";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Assign ghost slots (grouped by producer, producer-local indices
+ * ascending within a group), build the fetch list and consumer
+ * groups, and resolve every edge's compute-phase local address.
+ */
+void
+resolveSide(Graph::Side &side, PeId pe, Addr vals_base, Addr ghost_base)
+{
+    // Distinct remote references in edge-discovery order (the order
+    // a compiler-built ghost list would fetch in — producers
+    // interleave, so Bundle/Get pay the annex set-up churn of §8).
+    std::map<std::pair<PeId, std::uint32_t>, std::uint32_t> slot_of;
+    std::vector<std::pair<PeId, std::uint32_t>> discovery;
+    for (const auto &edge : side.edges) {
+        if (edge.srcPe == pe)
+            continue;
+        auto key = std::make_pair(edge.srcPe, edge.srcIdx);
+        if (slot_of.emplace(key, 0).second)
+            discovery.push_back(key);
+    }
+
+    // Ghost slots are assigned grouped by producer (std::map order:
+    // sorted by (srcPe, srcIdx)) so the Bulk version can move each
+    // producer's values as one contiguous block.
+    std::uint32_t next_slot = 0;
+    PeId current_pe = pe;
+    for (auto &[key, slot] : slot_of) {
+        slot = next_slot++;
+        if (side.groups.empty() || current_pe != key.first) {
+            current_pe = key.first;
+            side.groups.push_back({key.first, slot, {}, 0});
+        }
+        side.groups.back().srcIdxs.push_back(key.second);
+    }
+    side.ghostCount = next_slot;
+
+    // The fetch list (Bundle/Get) is in discovery order.
+    for (const auto &key : discovery) {
+        side.fetches.push_back(
+            {key.first, key.second, slot_of.at(key)});
+    }
+
+    for (auto &edge : side.edges) {
+        if (edge.srcPe == pe) {
+            edge.localValueAddr = vals_base + Addr{edge.srcIdx} * 8;
+        } else {
+            const std::uint32_t slot =
+                slot_of.at({edge.srcPe, edge.srcIdx});
+            edge.localValueAddr = ghost_base + Addr{slot} * 8;
+        }
+    }
+}
+
+/** Accessor for the side (E or H) of a PerPe record. */
+Graph::Side &
+sideOf(Graph::PerPe &pp, bool e_side)
+{
+    return e_side ? pp.e : pp.h;
+}
+
+/**
+ * Build producer-side push lists and Bulk staging layout from the
+ * consumers' groups, and tell each consumer group where its producer
+ * stages its values.
+ */
+void
+buildProducerViews(Graph &g, bool e_side)
+{
+    // Staging regions: on each producer, consumers in ascending
+    // dstPe order.
+    for (PeId q = 0; q < g.pes; ++q) {
+        Graph::Side &prod = sideOf(g.perPe[q], e_side);
+        Addr offset = 0;
+        for (PeId pe = 0; pe < g.pes; ++pe) {
+            if (pe == q)
+                continue;
+            Graph::Side &cons = sideOf(g.perPe[pe], e_side);
+            for (auto &group : cons.groups) {
+                if (group.srcPe != q)
+                    continue;
+                Graph::StageGroup sg;
+                sg.dstPe = pe;
+                sg.stageOffset = offset;
+                sg.dstFirstSlot = group.firstSlot;
+                sg.srcIdxs = group.srcIdxs;
+                group.producerStageOffset = offset;
+                offset += Addr{8} * sg.srcIdxs.size();
+                prod.stageGroups.push_back(std::move(sg));
+
+                // Push list entries (slot order within the group).
+                for (std::uint32_t k = 0; k < group.srcIdxs.size();
+                     ++k) {
+                    prod.pushes.push_back(
+                        {group.srcIdxs[k], pe, group.firstSlot + k});
+                }
+            }
+        }
+        // Node-order iteration on the producer: sort by source index
+        // so consecutive pushes interleave destination PEs — the
+        // annex-churn pattern of the Put version (§8).
+        std::stable_sort(prod.pushes.begin(), prod.pushes.end(),
+                         [](const Push &a, const Push &b) {
+                             return a.srcIdx < b.srcIdx;
+                         });
+    }
+}
+
+} // namespace
+
+Graph
+Graph::build(machine::Machine &machine, const Config &config)
+{
+    Graph g;
+    g.config = config;
+    g.pes = machine.numPes();
+    g.perPe.resize(g.pes);
+
+    const std::uint32_t n = config.nodesPerPe;
+    const std::size_t vals_bytes = std::size_t{n} * 8;
+    // A ghost/stage slot per distinct remote value; one per edge is
+    // the worst case.
+    const std::size_t ghost_bytes =
+        std::size_t{n} * config.degree * 8;
+
+    g.eValsBase = splitc::allocSymmetric(machine, vals_bytes);
+    g.hValsBase = splitc::allocSymmetric(machine, vals_bytes);
+    g.eGhostBase = splitc::allocSymmetric(machine, ghost_bytes);
+    g.hGhostBase = splitc::allocSymmetric(machine, ghost_bytes);
+    g.stageBase = splitc::allocSymmetric(machine, 2 * ghost_bytes);
+
+    // Deterministic initial field values.
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        auto &storage = machine.node(pe).storage();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const double e0 = 0.25 + 0.001 * i + 0.1 * pe;
+            const double h0 = 0.75 - 0.001 * i + 0.05 * pe;
+            storage.writeU64(g.eValsBase + Addr{i} * 8,
+                             std::bit_cast<std::uint64_t>(e0));
+            storage.writeU64(g.hValsBase + Addr{i} * 8,
+                             std::bit_cast<std::uint64_t>(h0));
+        }
+    }
+
+    // Generate the E-update edges. Remote producers live in a small
+    // neighborhood of processors (pe +/- 1, pe +/- 2), as in the
+    // original EM3D distribution: the bounded candidate set makes
+    // ghost-node reuse substantial (each remote value is referenced
+    // several times per step), while the multiple interleaved target
+    // PEs expose the repeated annex set-up that separates the Get /
+    // Put / Bulk versions (§8).
+    std::vector<PeId> neighbors;
+    Rng rng(config.seed);
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        neighbors.clear();
+        for (int d : {-2, -1, 1, 2}) {
+            const PeId q = static_cast<PeId>(
+                (static_cast<int>(pe) + d + 2 * static_cast<int>(g.pes)) %
+                g.pes);
+            if (q != pe &&
+                std::find(neighbors.begin(), neighbors.end(), q) ==
+                    neighbors.end()) {
+                neighbors.push_back(q);
+            }
+        }
+        auto &side = g.perPe[pe].e;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            for (std::uint32_t d = 0; d < config.degree; ++d) {
+                Edge edge;
+                edge.dstIdx = i;
+                const bool remote = !neighbors.empty() &&
+                    rng.nextBool(config.remoteFraction);
+                edge.srcPe = remote
+                    ? neighbors[rng.nextBounded(neighbors.size())]
+                    : pe;
+                edge.srcIdx =
+                    static_cast<std::uint32_t>(rng.nextBounded(n));
+                edge.weight = 0.01 + 0.98 * rng.nextDouble();
+                side.edges.push_back(edge);
+            }
+        }
+    }
+
+    // The H-update edge set is the transpose: if E(pe, i) depends on
+    // H(q, j) with weight w, then H(q, j) depends on E(pe, i).
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        for (const auto &edge : g.perPe[pe].e.edges) {
+            Edge back;
+            back.dstIdx = edge.srcIdx;
+            back.srcPe = pe;
+            back.srcIdx = edge.dstIdx;
+            back.weight = edge.weight * 0.5;
+            g.perPe[edge.srcPe].h.edges.push_back(back);
+        }
+    }
+    // Group the transposed edges by destination node for the
+    // accumulate-then-writeback compute loop.
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        auto &edges = g.perPe[pe].h.edges;
+        std::stable_sort(edges.begin(), edges.end(),
+                         [](const Edge &a, const Edge &b) {
+                             return a.dstIdx < b.dstIdx;
+                         });
+    }
+
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        resolveSide(g.perPe[pe].e, pe, g.hValsBase, g.eGhostBase);
+        resolveSide(g.perPe[pe].h, pe, g.eValsBase, g.hGhostBase);
+    }
+
+    buildProducerViews(g, /*e_side=*/true);
+    buildProducerViews(g, /*e_side=*/false);
+
+    return g;
+}
+
+std::uint64_t
+Graph::edgesPerPe() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pp : perPe)
+        total += pp.e.edges.size() + pp.h.edges.size();
+    return total / pes;
+}
+
+double
+Graph::checksum(machine::Machine &machine) const
+{
+    double sum = 0;
+    for (PeId pe = 0; pe < pes; ++pe) {
+        auto &storage = machine.node(pe).storage();
+        for (std::uint32_t i = 0; i < config.nodesPerPe; ++i) {
+            sum += std::bit_cast<double>(
+                storage.readU64(eValsBase + Addr{i} * 8));
+            sum += std::bit_cast<double>(
+                storage.readU64(hValsBase + Addr{i} * 8));
+        }
+    }
+    return sum;
+}
+
+} // namespace t3dsim::em3d

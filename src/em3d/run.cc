@@ -1,0 +1,250 @@
+#include "em3d/em3d.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "machine/config.hh"
+#include "sim/logging.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+namespace t3dsim::em3d
+{
+
+namespace
+{
+
+using splitc::GlobalAddr;
+using splitc::Proc;
+using splitc::ProcTask;
+
+/** Per-version knobs the phases switch on. */
+struct Plan
+{
+    Version version;
+    Cycles computeCycles;
+    bool useGhosts;
+};
+
+Plan
+planFor(Version v, const Config &cfg)
+{
+    switch (v) {
+      case Version::Simple:
+        return {v, cfg.computeSimpleCycles, false};
+      case Version::Bundle:
+        return {v, cfg.computeBundleCycles, true};
+      case Version::Unroll:
+      case Version::Get:
+      case Version::Put:
+      case Version::Bulk:
+        return {v, cfg.computeOptCycles, true};
+    }
+    T3D_PANIC("unknown EM3D version");
+}
+
+/**
+ * Ghost-fill phase for one side using the consumer-pull mechanisms
+ * (Bundle/Unroll: blocking reads; Get: pipelined gets).
+ */
+void
+fillGhostsPull(Proc &p, const Graph::Side &side, Addr producer_base,
+               Addr ghost_base, bool pipelined)
+{
+    auto &core = p.node().core();
+    if (!pipelined) {
+        for (const auto &f : side.fetches) {
+            const std::uint64_t v = p.readU64(GlobalAddr::make(
+                f.srcPe, producer_base + Addr{f.srcIdx} * 8));
+            core.storeU64(ghost_base + Addr{f.ghostSlot} * 8, v);
+        }
+        return;
+    }
+    for (const auto &f : side.fetches) {
+        p.getU64(GlobalAddr::make(f.srcPe,
+                                  producer_base + Addr{f.srcIdx} * 8),
+                 ghost_base + Addr{f.ghostSlot} * 8);
+    }
+    p.sync();
+}
+
+/** Producer-push fill (Put version). */
+void
+fillGhostsPush(Proc &p, const Graph::Side &side, Addr producer_base,
+               Addr ghost_base)
+{
+    auto &core = p.node().core();
+    for (const auto &push : side.pushes) {
+        const std::uint64_t v =
+            core.loadU64(producer_base + Addr{push.srcIdx} * 8);
+        p.putU64(GlobalAddr::make(push.dstPe,
+                                  ghost_base + Addr{push.ghostSlot} * 8),
+                 v);
+    }
+    p.sync();
+}
+
+/** Producer-side staging for the Bulk version. */
+void
+stageOutgoing(Proc &p, const Graph::Side &side, Addr producer_base,
+              Addr stage_base)
+{
+    auto &core = p.node().core();
+    for (const auto &sg : side.stageGroups) {
+        Addr out = stage_base + sg.stageOffset;
+        for (std::uint32_t idx : sg.srcIdxs) {
+            core.storeU64(out,
+                          core.loadU64(producer_base + Addr{idx} * 8));
+            out += 8;
+        }
+    }
+    core.mb(); // stage must be in memory before consumers pull
+}
+
+/** Consumer-side bulk gets for the Bulk version. */
+void
+fillGhostsBulk(Proc &p, const Graph::Side &side, Addr ghost_base,
+               Addr stage_base)
+{
+    for (const auto &group : side.groups) {
+        p.bulkGet(ghost_base + Addr{group.firstSlot} * 8,
+                  GlobalAddr::make(group.srcPe,
+                                   stage_base +
+                                       group.producerStageOffset),
+                  group.srcIdxs.size() * 8);
+    }
+    p.sync();
+}
+
+/**
+ * Compute phase: for every destination node, accumulate the weighted
+ * sum of its dependencies and leapfrog-update the value. Edges are
+ * grouped by destination; versions differ only in where the value
+ * comes from (ghost/local vs. a possibly-remote blocking read) and
+ * in the per-edge instruction overhead charged.
+ */
+void
+computeSide(Proc &p, const Plan &plan, const Graph::Side &side,
+            Addr vals_base, Addr producer_base)
+{
+    auto &core = p.node().core();
+    std::size_t i = 0;
+    const std::size_t n_edges = side.edges.size();
+    while (i < n_edges) {
+        const std::uint32_t dst = side.edges[i].dstIdx;
+        double acc = 0;
+        while (i < n_edges && side.edges[i].dstIdx == dst) {
+            const Edge &edge = side.edges[i];
+            double v;
+            if (plan.useGhosts) {
+                v = std::bit_cast<double>(
+                    core.loadU64(edge.localValueAddr));
+            } else {
+                v = p.readF64(GlobalAddr::make(
+                    edge.srcPe, producer_base + Addr{edge.srcIdx} * 8));
+            }
+            acc += edge.weight * v;
+            p.compute(plan.computeCycles);
+            ++i;
+        }
+        const Addr dst_addr = vals_base + Addr{dst} * 8;
+        const double old_val =
+            std::bit_cast<double>(core.loadU64(dst_addr));
+        core.storeU64(dst_addr,
+                      std::bit_cast<std::uint64_t>(0.5 * old_val +
+                                                   acc));
+        p.compute(4); // node-level loop overhead
+    }
+}
+
+} // namespace
+
+Result
+run(const Config &config, Version version, std::uint32_t pes,
+    const splitc::SplitcConfig &splitc_config)
+{
+    return run(config, version, machine::MachineConfig::t3d(pes),
+               splitc_config);
+}
+
+Result
+run(const Config &config, Version version,
+    const machine::MachineConfig &machine_config,
+    const splitc::SplitcConfig &splitc_config)
+{
+    machine::Machine machine(machine_config);
+    Graph g = Graph::build(machine, config);
+    const Plan plan = planFor(version, config);
+
+    auto program = [&](Proc &p) -> ProcTask {
+        const Graph::PerPe &pp = g.perPe[p.pe()];
+        for (int iter = 0; iter < config.iterations; ++iter) {
+            // ---- E update: consume H values ----
+            switch (plan.version) {
+              case Version::Simple:
+                break;
+              case Version::Bundle:
+              case Version::Unroll:
+                fillGhostsPull(p, pp.e, g.hValsBase, g.eGhostBase,
+                               false);
+                break;
+              case Version::Get:
+                fillGhostsPull(p, pp.e, g.hValsBase, g.eGhostBase,
+                               true);
+                break;
+              case Version::Put:
+                fillGhostsPush(p, pp.e, g.hValsBase, g.eGhostBase);
+                break;
+              case Version::Bulk:
+                stageOutgoing(p, pp.e, g.hValsBase, g.stageBase);
+                co_await p.barrier();
+                fillGhostsBulk(p, pp.e, g.eGhostBase, g.stageBase);
+                break;
+            }
+            co_await p.barrier();
+            computeSide(p, plan, pp.e, g.eValsBase, g.hValsBase);
+            co_await p.barrier();
+
+            // ---- H update: consume E values ----
+            switch (plan.version) {
+              case Version::Simple:
+                break;
+              case Version::Bundle:
+              case Version::Unroll:
+                fillGhostsPull(p, pp.h, g.eValsBase, g.hGhostBase,
+                               false);
+                break;
+              case Version::Get:
+                fillGhostsPull(p, pp.h, g.eValsBase, g.hGhostBase,
+                               true);
+                break;
+              case Version::Put:
+                fillGhostsPush(p, pp.h, g.eValsBase, g.hGhostBase);
+                break;
+              case Version::Bulk:
+                stageOutgoing(p, pp.h, g.eValsBase, g.stageBase);
+                co_await p.barrier();
+                fillGhostsBulk(p, pp.h, g.hGhostBase, g.stageBase);
+                break;
+            }
+            co_await p.barrier();
+            computeSide(p, plan, pp.h, g.hValsBase, g.eValsBase);
+            co_await p.barrier();
+        }
+        co_return;
+    };
+
+    auto finish = splitc::runSpmd(machine, program, splitc_config);
+
+    Result result;
+    result.version = version;
+    result.elapsed = *std::max_element(finish.begin(), finish.end());
+    result.edgesPerPePerIter = g.edgesPerPe();
+    const double edges = double(result.edgesPerPePerIter) *
+        config.iterations;
+    result.usPerEdge = cyclesToUs(result.elapsed) / edges;
+    result.checksum = g.checksum(machine);
+    return result;
+}
+
+} // namespace t3dsim::em3d

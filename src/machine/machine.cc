@@ -1,0 +1,37 @@
+#include "machine/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace t3dsim::machine
+{
+
+Machine::Machine(const MachineConfig &config)
+    : _config(config),
+      _torus(net::Torus::forPeCount(config.numPes, config.hopCycles)),
+      _barrier(config.numPes, config.shell.barrierLatencyCycles)
+{
+    _nodes.reserve(config.numPes);
+    for (PeId pe = 0; pe < config.numPes; ++pe)
+        _nodes.push_back(std::make_unique<Node>(_config, pe, *this));
+}
+
+Node &
+Machine::node(PeId pe)
+{
+    T3D_ASSERT(pe < _nodes.size(), "node index out of range: ", pe);
+    return *_nodes[pe];
+}
+
+Cycles
+Machine::transitCycles(PeId src, PeId dst) const
+{
+    return _torus.transitCycles(src, dst);
+}
+
+shell::RemoteMemoryPort &
+Machine::remoteMemory(PeId pe)
+{
+    return node(pe);
+}
+
+} // namespace t3dsim::machine

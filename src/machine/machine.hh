@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The assembled CRAY-T3D: N nodes on a 3-D torus plus the wired-OR
+ * barrier network.
+ */
+
+#ifndef T3DSIM_MACHINE_MACHINE_HH
+#define T3DSIM_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/config.hh"
+#include "machine/node.hh"
+#include "net/torus.hh"
+#include "shell/barrier.hh"
+#include "shell/ports.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::machine
+{
+
+/** A whole T3D. */
+class Machine : public shell::MachinePort
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig::t3d());
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    Node &node(PeId pe);
+    const MachineConfig &config() const { return _config; }
+    net::Torus &torus() { return _torus; }
+    shell::BarrierNetwork &barrier() { return _barrier; }
+
+    /** @name shell::MachinePort */
+    /// @{
+    Cycles transitCycles(PeId src, PeId dst) const override;
+    shell::RemoteMemoryPort &remoteMemory(PeId pe) override;
+    std::uint32_t numPes() const override { return _config.numPes; }
+    /// @}
+
+  private:
+    MachineConfig _config;
+    net::Torus _torus;
+    shell::BarrierNetwork _barrier;
+    std::vector<std::unique_ptr<Node>> _nodes;
+};
+
+} // namespace t3dsim::machine
+
+#endif // T3DSIM_MACHINE_MACHINE_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * One T3D node: Alpha core + local memory + shell, wired together.
+ *
+ * The node is the program-facing API of the machine model. Loads and
+ * stores are routed the way the hardware routes them: plain local
+ * virtual addresses go to the core's cache/write-buffer/DRAM path;
+ * annexed virtual addresses resolve through the DTB Annex — to the
+ * local path when the entry names the local PE (synonyms included),
+ * to the shell's remote engine otherwise.
+ *
+ * Node implements the two wiring interfaces:
+ *  - alpha::DrainPort: routes drained write-buffer lines to local
+ *    DRAM (deferred commit — pending data stays invisible to synonym
+ *    reads, §3.4) or to the shell's injection channel;
+ *  - shell::RemoteMemoryPort: services requests arriving from other
+ *    nodes against this node's DRAM timing and storage.
+ */
+
+#ifndef T3DSIM_MACHINE_NODE_HH
+#define T3DSIM_MACHINE_NODE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "alpha/address.hh"
+#include "alpha/cache.hh"
+#include "alpha/core.hh"
+#include "alpha/tlb.hh"
+#include "alpha/write_buffer.hh"
+#include "machine/config.hh"
+#include "mem/dram.hh"
+#include "mem/storage.hh"
+#include "shell/ports.hh"
+#include "shell/shell.hh"
+#include "sim/arrivals.hh"
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::machine
+{
+
+/** A processing element of the modeled T3D. */
+class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
+{
+  public:
+    Node(const MachineConfig &config, PeId pe,
+         shell::MachinePort &machine);
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /** @name Program-facing timed memory operations */
+    /// @{
+    std::uint64_t loadU64(Addr va);
+    std::uint32_t loadU32(Addr va);
+    std::uint8_t loadU8(Addr va);
+    void storeU64(Addr va, std::uint64_t value);
+    void storeU32(Addr va, std::uint32_t value);
+    void storeU8(Addr va, std::uint8_t value);
+    void mb() { _core.mb(); }
+    /// @}
+
+    /**
+     * FETCH hint through the annex: issue a binding prefetch of the
+     * quadword at @p va (§5.2).
+     */
+    void fetchHint(Addr va);
+
+    /** Pop the prefetch queue (load of the memory-mapped address). */
+    std::uint64_t popPrefetch() { return _shell.prefetch().pop(); }
+
+    /**
+     * Block until every injected remote write has been acknowledged:
+     * MB (push pending stores out of the write buffer — the §4.3
+     * subtlety) then poll the status bit.
+     */
+    void waitRemoteWrites();
+
+    /** Atomic swap on the node named by @p va's annex entry. */
+    std::uint64_t swap(Addr va, std::uint64_t new_value);
+
+    /** @name Components */
+    /// @{
+    Clock &clock() { return _clock; }
+    alpha::AlphaCore &core() { return _core; }
+    shell::Shell &shell() { return _shell; }
+    mem::Storage &storage() { return _storage; }
+    mem::DramController &dram() { return _dram; }
+    alpha::DirectMappedCache &dcache() { return _dcache; }
+    alpha::WriteBuffer &writeBuffer() { return _wb; }
+    alpha::Tlb &tlb() { return _tlb; }
+    PeId pe() const { return _pe; }
+    /// @}
+
+    /**
+     * Bump-allocate @p bytes of this node's local segment (program
+     * data; no timing).
+     */
+    Addr alloc(std::size_t bytes, std::size_t align = 8);
+
+    /** Reset the allocator to the segment base (test support). */
+    void resetAlloc() { _allocNext = allocBase; }
+
+    /** @name shell::RemoteMemoryPort (network-side service) */
+    /// @{
+    Cycles serviceRead(Cycles arrive, Addr offset, void *dst,
+                       std::size_t len, PeId requester) override;
+    Cycles serviceWrite(Cycles arrive, Addr offset, const void *src,
+                        std::size_t len, bool cache_inval,
+                        PeId requester) override;
+    Cycles serviceWriteMasked(Cycles arrive, Addr line_offset,
+                              const std::uint8_t *data,
+                              std::uint32_t byte_mask, bool cache_inval,
+                              PeId requester) override;
+    Cycles serviceSwap(Cycles arrive, Addr offset,
+                       std::uint64_t new_value, std::uint64_t &old_value,
+                       PeId requester) override;
+    Cycles serviceFetchInc(Cycles arrive, unsigned reg,
+                           std::uint64_t &old_value) override;
+    void serviceMessage(Cycles arrive,
+                        const std::uint64_t words[4]) override;
+    void bulkReadRaw(Addr offset, void *dst, std::size_t len) override;
+    void bulkWriteRaw(Addr offset, const void *src,
+                      std::size_t len) override;
+    /// @}
+
+    /** @name alpha::DrainPort (write-buffer drain routing) */
+    /// @{
+    DrainResult drainLine(Cycles ready, Addr pa, const std::uint8_t *data,
+                          std::uint32_t byte_mask,
+                          std::uint32_t tag) override;
+    void commitLine(Addr pa, const std::uint8_t *data,
+                    std::uint32_t byte_mask) override;
+    /// @}
+
+    /** First allocatable offset (below is reserved scratch). */
+    static constexpr Addr allocBase = 64 * KiB;
+
+    /**
+     * Timestamped arrivals of signaling-store bytes into this node's
+     * memory (store_sync support, §7.1).
+     */
+    ArrivalLog &storeArrivals() { return _storeArrivals; }
+
+    /** Timestamped arrivals of Active-Message deposits (§7.4). */
+    ArrivalLog &amArrivals() { return _amArrivals; }
+
+  private:
+    /**
+     * Resolve the destination PE of an annexed virtual address at
+     * store issue and latch it as the core's store tag (the DTB
+     * annex is consulted during address translation, before the
+     * write buffer; the destination travels with the entry).
+     */
+    PeId latchStoreTarget(Addr va);
+
+    MachineConfig _config;
+    PeId _pe;
+    shell::MachinePort &_machine;
+
+    Clock _clock;
+    mem::Storage _storage;
+    mem::DramController _dram;
+    alpha::Tlb _tlb;
+    alpha::DirectMappedCache _dcache;
+    alpha::WriteBuffer _wb;
+    alpha::AlphaCore _core;
+    shell::Shell _shell;
+
+    ArrivalLog _storeArrivals;
+    ArrivalLog _amArrivals;
+
+    /**
+     * Per-requester timing view of this node's DRAM (page/bank
+     * state of that requester's own access stream). See
+     * shell::RemoteMemoryPort for why contention between requesters
+     * is deliberately not modeled.
+     */
+    mem::DramController &remoteDramView(PeId requester);
+
+    /**
+     * The memory controller services one requester's network writes
+     * through a single port: a row miss stalls that stream for the
+     * full access, an in-page write only for the column cycle. This
+     * is what makes 16 KB-stride non-blocking writes visibly slower
+     * (§5.3).
+     */
+    std::unordered_map<PeId, Cycles> _remoteWritePortFree;
+    std::unordered_map<PeId, mem::DramController> _remoteDramViews;
+
+    Addr _allocNext = allocBase;
+};
+
+} // namespace t3dsim::machine
+
+#endif // T3DSIM_MACHINE_NODE_HH

@@ -1,0 +1,33 @@
+#include "machine/workstation.hh"
+
+namespace t3dsim::machine
+{
+
+Workstation::Workstation(const WorkstationConfig &config)
+    : _config(config), _storage(Addr{1} << 32), _dram(config.dram),
+      _tlb(config.tlb), _l1(config.l1Bytes, config.l1LineBytes),
+      _l2(config.l2Bytes, config.l2LineBytes),
+      _wb(config.writeBuffer, *this),
+      _core(config.core, _clock, _tlb, _l1, _wb, _dram, _storage, &_l2)
+{
+}
+
+alpha::DrainPort::DrainResult
+Workstation::drainLine(Cycles ready, Addr pa, const std::uint8_t *,
+                       std::uint32_t, std::uint32_t)
+{
+    auto access = _dram.access(ready, pa);
+    return {access.complete, /*deferCommit=*/true};
+}
+
+void
+Workstation::commitLine(Addr pa, const std::uint8_t *data,
+                        std::uint32_t byte_mask)
+{
+    for (unsigned i = 0; i < alpha::wbLineBytes; ++i) {
+        if (byte_mask & (1u << i))
+            _storage.writeU8(pa + i, data[i]);
+    }
+}
+
+} // namespace t3dsim::machine

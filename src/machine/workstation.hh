@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The DEC Alpha workstation used for comparison in Figure 1: the
+ * same 21064 core with an 8 KB L1, a 512 KB board-level L2, standard
+ * 8 KB pages, and a slower (300 ns) but otherwise conventional
+ * memory system (§2.2).
+ */
+
+#ifndef T3DSIM_MACHINE_WORKSTATION_HH
+#define T3DSIM_MACHINE_WORKSTATION_HH
+
+#include <cstdint>
+
+#include "alpha/cache.hh"
+#include "alpha/core.hh"
+#include "alpha/tlb.hh"
+#include "alpha/write_buffer.hh"
+#include "machine/config.hh"
+#include "mem/dram.hh"
+#include "mem/storage.hh"
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::machine
+{
+
+/** A single-node Alpha workstation. */
+class Workstation : public alpha::DrainPort
+{
+  public:
+    explicit Workstation(
+        const WorkstationConfig &config = WorkstationConfig::dec3000());
+
+    Workstation(const Workstation &) = delete;
+    Workstation &operator=(const Workstation &) = delete;
+
+    /** @name Timed memory operations */
+    /// @{
+    std::uint64_t loadU64(Addr va) { return _core.loadU64(va); }
+    void storeU64(Addr va, std::uint64_t v) { _core.storeU64(va, v); }
+    void mb() { _core.mb(); }
+    /// @}
+
+    Clock &clock() { return _clock; }
+    alpha::AlphaCore &core() { return _core; }
+    mem::Storage &storage() { return _storage; }
+    alpha::Tlb &tlb() { return _tlb; }
+    alpha::DirectMappedCache &l1() { return _l1; }
+    alpha::DirectMappedCache &l2() { return _l2; }
+
+    /** @name alpha::DrainPort (write buffer drains to local DRAM) */
+    /// @{
+    DrainResult drainLine(Cycles ready, Addr pa, const std::uint8_t *data,
+                          std::uint32_t byte_mask,
+                          std::uint32_t tag) override;
+    void commitLine(Addr pa, const std::uint8_t *data,
+                    std::uint32_t byte_mask) override;
+    /// @}
+
+  private:
+    WorkstationConfig _config;
+    Clock _clock;
+    mem::Storage _storage;
+    mem::DramController _dram;
+    alpha::Tlb _tlb;
+    alpha::DirectMappedCache _l1;
+    alpha::DirectMappedCache _l2;
+    alpha::WriteBuffer _wb;
+    alpha::AlphaCore _core;
+};
+
+} // namespace t3dsim::machine
+
+#endif // T3DSIM_MACHINE_WORKSTATION_HH

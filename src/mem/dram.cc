@@ -1,0 +1,71 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::mem
+{
+
+DramController::DramController(const DramConfig &config)
+    : _config(config), _banks(config.numBanks)
+{
+    T3D_ASSERT(_config.numBanks > 0, "DRAM needs at least one bank");
+    T3D_ASSERT(_config.pageBytes > 0, "DRAM page size must be positive");
+}
+
+std::uint32_t
+DramController::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / _config.pageBytes) % _config.numBanks);
+}
+
+std::uint64_t
+DramController::rowOf(Addr addr) const
+{
+    return addr / (_config.pageBytes * _config.numBanks);
+}
+
+DramAccess
+DramController::access(Cycles when, Addr addr)
+{
+    const std::uint32_t bank = bankOf(addr);
+    const std::uint64_t row = rowOf(addr);
+    BankState &state = _banks[bank];
+
+    const bool off_page = state.openRow != row;
+    const bool same_bank = _anyAccess && _lastBank == bank;
+
+    Cycles cost = _config.pageHitCycles;
+    if (off_page) {
+        cost += _config.offPagePenaltyCycles;
+        if (same_bank)
+            cost += _config.sameBankPenaltyCycles;
+    }
+
+    const Cycles start = std::max(when, state.busyUntil);
+    const Cycles complete = start + cost;
+
+    // An in-page access only occupies the bank for the pipelined
+    // column-access interval; a row change holds it for the full
+    // duration.
+    state.busyUntil = off_page ? complete
+                               : start + _config.pipelinedBusyCycles;
+    state.openRow = row;
+    _lastBank = bank;
+    _anyAccess = true;
+
+    return {start, complete, complete - when, off_page};
+}
+
+void
+DramController::reset()
+{
+    for (auto &bank : _banks)
+        bank = BankState{};
+    _lastBank = ~std::uint32_t{0};
+    _anyAccess = false;
+}
+
+} // namespace t3dsim::mem

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Page-mode DRAM timing model.
+ *
+ * Models exactly the phenomena the paper's §2.2/§2.3 probes expose on
+ * the T3D node memory:
+ *
+ *  - a flat in-page access time (145 ns / 22 cycles on the T3D),
+ *  - an off-page (row change) penalty of ~60 ns / 9 cycles that
+ *    appears once the address stride reaches the DRAM page size
+ *    (16 KB),
+ *  - an additional same-bank penalty of ~60 ns / 9 cycles when
+ *    consecutive accesses hit the same one of the 4 interleaved banks
+ *    with a row change (64 KB strides), exposing the full memory
+ *    cycle time of 264 ns / 40 cycles,
+ *  - pipelining of in-page accesses, which is what lets the 4-entry
+ *    write buffer sustain one retirement every ~35 ns (§2.3).
+ *
+ * Banks are interleaved at DRAM-page granularity: bank =
+ * (addr / pageBytes) % numBanks, row = addr / (pageBytes * numBanks).
+ */
+
+#ifndef T3DSIM_MEM_DRAM_HH
+#define T3DSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::mem
+{
+
+/** Static timing parameters of one node's DRAM. */
+struct DramConfig
+{
+    /** Bytes per DRAM page (row); T3D: 16 KB (§2.2). */
+    std::uint64_t pageBytes = 16 * KiB;
+
+    /** Number of interleaved banks; T3D: 4 (§2.2). */
+    std::uint32_t numBanks = 4;
+
+    /** In-page access latency; T3D: 22 cycles = 145 ns (§2.2). */
+    Cycles pageHitCycles = 22;
+
+    /** Extra cycles for a row change; T3D: 9 cycles = 60 ns (§2.2). */
+    Cycles offPagePenaltyCycles = 9;
+
+    /**
+     * Further extra cycles when a row change follows an access to the
+     * same bank, exposing the full memory cycle time; T3D: 9 more
+     * cycles for a 40-cycle / 264 ns total (§2.2).
+     */
+    Cycles sameBankPenaltyCycles = 9;
+
+    /**
+     * Bank occupancy of a pipelined in-page access. Column accesses
+     * to an open row stream at this interval, which is what the write
+     * buffer's ~35 ns steady-state retirement rate reflects (§2.3).
+     */
+    Cycles pipelinedBusyCycles = 4;
+};
+
+/** Result of scheduling one DRAM access. */
+struct DramAccess
+{
+    /** When the access actually began (>= requested time). */
+    Cycles start;
+
+    /** When the data was available / write committed. */
+    Cycles complete;
+
+    /** complete - requested time: latency seen by the requester. */
+    Cycles latency;
+
+    /** True if the access required a row change. */
+    bool offPage;
+};
+
+/**
+ * Timing-only DRAM controller for one node. Data movement is handled
+ * separately by Storage; this class answers "when does the access
+ * finish" while tracking open rows and bank occupancy.
+ */
+class DramController
+{
+  public:
+    explicit DramController(const DramConfig &config = DramConfig{});
+
+    /** Schedule one access to @p addr requested at time @p when. */
+    DramAccess access(Cycles when, Addr addr);
+
+    /** Bank index holding @p addr. */
+    std::uint32_t bankOf(Addr addr) const;
+
+    /** Row index of @p addr within its bank. */
+    std::uint64_t rowOf(Addr addr) const;
+
+    const DramConfig &config() const { return _config; }
+
+    /** Forget open-row and occupancy state (test support). */
+    void reset();
+
+  private:
+    struct BankState
+    {
+        std::uint64_t openRow = ~std::uint64_t{0};
+        Cycles busyUntil = 0;
+    };
+
+    DramConfig _config;
+    std::vector<BankState> _banks;
+
+    /** Bank used by the most recent access (any bank). */
+    std::uint32_t _lastBank = ~std::uint32_t{0};
+    bool _anyAccess = false;
+};
+
+} // namespace t3dsim::mem
+
+#endif // T3DSIM_MEM_DRAM_HH

@@ -1,0 +1,120 @@
+#include "mem/storage.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::mem
+{
+
+Storage::Storage(Addr limit)
+    : _limit(limit)
+{
+}
+
+void
+Storage::checkRange(Addr addr, std::size_t len) const
+{
+    T3D_ASSERT(addr + len <= _limit && addr + len >= addr,
+               "storage access out of range: addr=", addr, " len=", len,
+               " limit=", _limit);
+}
+
+Storage::Chunk &
+Storage::chunkFor(Addr addr)
+{
+    Addr key = addr / chunkBytes;
+    auto it = _chunks.find(key);
+    if (it == _chunks.end()) {
+        auto chunk = std::make_unique<Chunk>();
+        chunk->fill(0);
+        it = _chunks.emplace(key, std::move(chunk)).first;
+    }
+    return *it->second;
+}
+
+const Storage::Chunk *
+Storage::chunkIfPresent(Addr addr) const
+{
+    auto it = _chunks.find(addr / chunkBytes);
+    return it == _chunks.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+Storage::readU8(Addr addr) const
+{
+    checkRange(addr, 1);
+    const Chunk *chunk = chunkIfPresent(addr);
+    return chunk ? (*chunk)[addr % chunkBytes] : 0;
+}
+
+void
+Storage::writeU8(Addr addr, std::uint8_t value)
+{
+    checkRange(addr, 1);
+    chunkFor(addr)[addr % chunkBytes] = value;
+}
+
+std::uint32_t
+Storage::readU32(Addr addr) const
+{
+    std::uint32_t v = 0;
+    readBlock(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+Storage::writeU32(Addr addr, std::uint32_t value)
+{
+    writeBlock(addr, &value, sizeof(value));
+}
+
+std::uint64_t
+Storage::readU64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    readBlock(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+Storage::writeU64(Addr addr, std::uint64_t value)
+{
+    writeBlock(addr, &value, sizeof(value));
+}
+
+void
+Storage::readBlock(Addr addr, void *dst, std::size_t len) const
+{
+    checkRange(addr, len);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        std::size_t off = addr % chunkBytes;
+        std::size_t take = std::min(len, chunkBytes - off);
+        const Chunk *chunk = chunkIfPresent(addr);
+        if (chunk)
+            std::memcpy(out, chunk->data() + off, take);
+        else
+            std::memset(out, 0, take);
+        out += take;
+        addr += take;
+        len -= take;
+    }
+}
+
+void
+Storage::writeBlock(Addr addr, const void *src, std::size_t len)
+{
+    checkRange(addr, len);
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        std::size_t off = addr % chunkBytes;
+        std::size_t take = std::min(len, chunkBytes - off);
+        std::memcpy(chunkFor(addr).data() + off, in, take);
+        in += take;
+        addr += take;
+        len -= take;
+    }
+}
+
+} // namespace t3dsim::mem

@@ -1,0 +1,88 @@
+#include "net/torus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::net
+{
+
+Torus::Torus(std::uint32_t dx, std::uint32_t dy, std::uint32_t dz,
+             Cycles hop_cycles)
+    : _dx(dx), _dy(dy), _dz(dz), _hopCycles(hop_cycles)
+{
+    T3D_ASSERT(dx > 0 && dy > 0 && dz > 0,
+               "torus dimensions must be positive");
+}
+
+Torus
+Torus::forPeCount(std::uint32_t pes, Cycles hop_cycles)
+{
+    if (pes == 0)
+        T3D_FATAL("machine needs at least one PE");
+    // Factor into the most cubic (dx, dy, dz) with dx*dy*dz == pes.
+    std::uint32_t best_x = pes, best_y = 1, best_z = 1;
+    std::uint32_t best_spread = pes;
+    for (std::uint32_t z = 1; z * z * z <= pes; ++z) {
+        if (pes % z != 0)
+            continue;
+        std::uint32_t rest = pes / z;
+        for (std::uint32_t y = z; y * y <= rest; ++y) {
+            if (rest % y != 0)
+                continue;
+            std::uint32_t x = rest / y;
+            std::uint32_t spread = x - z;
+            if (spread < best_spread) {
+                best_spread = spread;
+                best_x = x;
+                best_y = y;
+                best_z = z;
+            }
+        }
+    }
+    return Torus(best_x, best_y, best_z, hop_cycles);
+}
+
+Coord
+Torus::coordOf(PeId pe) const
+{
+    T3D_ASSERT(pe < numPes(), "PE out of range: ", pe);
+    Coord c;
+    c.x = pe % _dx;
+    c.y = (pe / _dx) % _dy;
+    c.z = pe / (_dx * _dy);
+    return c;
+}
+
+PeId
+Torus::peAt(const Coord &c) const
+{
+    T3D_ASSERT(c.x < _dx && c.y < _dy && c.z < _dz,
+               "coordinate out of range");
+    return c.x + _dx * (c.y + _dy * c.z);
+}
+
+std::uint32_t
+Torus::ringDistance(std::uint32_t a, std::uint32_t b, std::uint32_t dim)
+{
+    std::uint32_t d = a > b ? a - b : b - a;
+    return std::min(d, dim - d);
+}
+
+std::uint32_t
+Torus::hops(PeId src, PeId dst) const
+{
+    const Coord a = coordOf(src);
+    const Coord b = coordOf(dst);
+    return ringDistance(a.x, b.x, _dx) + ringDistance(a.y, b.y, _dy) +
+        ringDistance(a.z, b.z, _dz);
+}
+
+Cycles
+Torus::transitCycles(PeId src, PeId dst) const
+{
+    return Cycles{hops(src, dst)} * _hopCycles;
+}
+
+} // namespace t3dsim::net

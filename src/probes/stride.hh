@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The micro-benchmark probe of §2.1: a sawtooth address stream.
+ *
+ *   for (array = min; array <= max; array *= 2)
+ *     for (stride = 8; stride <= array/2; stride *= 2)
+ *       for (i = 0; i < array; i += stride)
+ *         OP(A[i]);
+ *
+ * One warm-up pass precedes each measured pass (the paper repeats
+ * the experiment and reports the average; in the model the second
+ * pass is exactly the steady state). Loop overhead is zero in the
+ * model, matching the paper's subtraction of it.
+ */
+
+#ifndef T3DSIM_PROBES_STRIDE_HH
+#define T3DSIM_PROBES_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::probes
+{
+
+/** One (array size, stride) measurement. */
+struct StridePoint
+{
+    std::uint64_t arrayBytes;
+    std::uint64_t strideBytes;
+    double avgNsPerOp;
+    double avgCyclesPerOp;
+};
+
+/**
+ * Run the sawtooth probe.
+ *
+ * @param op Callable performing one timed memory operation at a
+ *           virtual address: op(Addr).
+ * @param now Callable returning the current clock in cycles.
+ * @param base Base virtual address of the probed array.
+ * @param min_array Smallest array size in bytes (power of two).
+ * @param max_array Largest array size in bytes (power of two).
+ * @param min_stride Smallest stride in bytes (the element size).
+ */
+template <typename OpFn, typename NowFn>
+std::vector<StridePoint>
+strideProbe(OpFn &&op, NowFn &&now, Addr base,
+            std::uint64_t min_array, std::uint64_t max_array,
+            std::uint64_t min_stride = 8)
+{
+    std::vector<StridePoint> points;
+    for (std::uint64_t array = min_array; array <= max_array;
+         array *= 2) {
+        for (std::uint64_t stride = min_stride; stride <= array / 2;
+             stride *= 2) {
+            // Warm-up pass: populate caches / open DRAM pages.
+            for (Addr i = 0; i < array; i += stride)
+                op(base + i);
+
+            const Cycles start = now();
+            std::uint64_t ops = 0;
+            for (Addr i = 0; i < array; i += stride) {
+                op(base + i);
+                ++ops;
+            }
+            const Cycles elapsed = now() - start;
+
+            StridePoint point;
+            point.arrayBytes = array;
+            point.strideBytes = stride;
+            point.avgCyclesPerOp =
+                static_cast<double>(elapsed) / static_cast<double>(ops);
+            point.avgNsPerOp = cyclesToNs(elapsed) /
+                static_cast<double>(ops);
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+/** Find the measurement for a given (array, stride), if present. */
+inline const StridePoint *
+findPoint(const std::vector<StridePoint> &points, std::uint64_t array,
+          std::uint64_t stride)
+{
+    for (const auto &p : points) {
+        if (p.arrayBytes == array && p.strideBytes == stride)
+            return &p;
+    }
+    return nullptr;
+}
+
+} // namespace t3dsim::probes
+
+#endif // T3DSIM_PROBES_STRIDE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Small fixed-width table printer used by the bench binaries to
+ * present modeled-vs-paper numbers the way the paper's tables and
+ * figure captions do.
+ */
+
+#ifndef T3DSIM_PROBES_TABLE_HH
+#define T3DSIM_PROBES_TABLE_HH
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace t3dsim::probes
+{
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : _headers(std::move(headers))
+    {
+    }
+
+    /** Append a row; cells are streamed to strings. */
+    template <typename... Cells>
+    void
+    addRow(Cells &&...cells)
+    {
+        std::vector<std::string> row;
+        (row.push_back(toCell(std::forward<Cells>(cells))), ...);
+        _rows.push_back(std::move(row));
+    }
+
+    /** Render to @p os with column alignment. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> widths(_headers.size(), 0);
+        for (std::size_t c = 0; c < _headers.size(); ++c)
+            widths[c] = _headers[c].size();
+        for (const auto &row : _rows) {
+            for (std::size_t c = 0; c < row.size() && c < widths.size();
+                 ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+        }
+
+        auto hr = [&] {
+            for (auto w : widths)
+                os << "+" << std::string(w + 2, '-');
+            os << "+\n";
+        };
+
+        hr();
+        printRow(os, _headers, widths);
+        hr();
+        for (const auto &row : _rows)
+            printRow(os, row, widths);
+        hr();
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(T &&value)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(1);
+        os << value;
+        return os.str();
+    }
+
+    static void
+    printRow(std::ostream &os, const std::vector<std::string> &row,
+             const std::vector<std::size_t> &widths)
+    {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << "| " << std::setw(static_cast<int>(widths[c]))
+               << std::left << cell << " ";
+        }
+        os << "|\n";
+    }
+
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace t3dsim::probes
+
+#endif // T3DSIM_PROBES_TABLE_HH

@@ -1,0 +1,49 @@
+#include "shell/barrier.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::shell
+{
+
+BarrierNetwork::BarrierNetwork(std::uint32_t pes, Cycles latency_cycles)
+    : _pes(pes), _latency(latency_cycles), _present(pes, false)
+{
+    T3D_ASSERT(pes > 0, "barrier needs at least one PE");
+}
+
+std::optional<Cycles>
+BarrierNetwork::arrive(PeId pe, Cycles when)
+{
+    T3D_ASSERT(pe < _pes, "barrier arrival from unknown PE ", pe);
+    T3D_ASSERT(!_present[pe],
+               "PE ", pe, " arrived twice in barrier generation ",
+               _generation);
+    _present[pe] = true;
+    ++_arrived;
+    _maxArrival = std::max(_maxArrival, when);
+    if (complete())
+        return exitTime();
+    return std::nullopt;
+}
+
+Cycles
+BarrierNetwork::exitTime() const
+{
+    T3D_ASSERT(complete(), "barrier exit time queried before completion");
+    return _maxArrival + _latency;
+}
+
+void
+BarrierNetwork::resetGeneration()
+{
+    T3D_ASSERT(complete(), "barrier generation reset while incomplete");
+    _lastExit = exitTime();
+    std::fill(_present.begin(), _present.end(), false);
+    _arrived = 0;
+    _maxArrival = 0;
+    ++_generation;
+}
+
+} // namespace t3dsim::shell

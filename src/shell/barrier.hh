@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hardware global-OR "fuzzy" barrier network (§7.5).
+ *
+ * The T3D provides a wired-OR barrier: a start-barrier instruction
+ * notifies other processors that the synchronization point has been
+ * reached; the end-barrier polls until every processor has started
+ * and resets the global-OR bit. Code may be placed between start and
+ * end (the "fuzzy" part). The paper does not report the raw latency;
+ * we assume a small constant (see DESIGN.md).
+ *
+ * This class is the machine-wide timing state; coroutine suspension
+ * is handled by the SPMD executor.
+ */
+
+#ifndef T3DSIM_SHELL_BARRIER_HH
+#define T3DSIM_SHELL_BARRIER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/** Machine-wide barrier timing state, one generation at a time. */
+class BarrierNetwork
+{
+  public:
+    /**
+     * @param pes Number of participating processors.
+     * @param latency_cycles Propagation latency of the wired OR.
+     */
+    BarrierNetwork(std::uint32_t pes, Cycles latency_cycles);
+
+    /**
+     * Record PE @p pe reaching the barrier (start-barrier) at time
+     * @p when. Each PE may arrive once per generation.
+     *
+     * @return The barrier exit time if this arrival completes the
+     *         generation; nullopt otherwise.
+     */
+    std::optional<Cycles> arrive(PeId pe, Cycles when);
+
+    /** True once every PE has arrived in this generation. */
+    bool complete() const { return _arrived == _pes; }
+
+    /** Exit time of the completed generation. */
+    Cycles exitTime() const;
+
+    /** Begin the next generation (end-barrier reset). */
+    void resetGeneration();
+
+    /** Exit time of the most recently completed generation. */
+    Cycles lastExitTime() const { return _lastExit; }
+
+    std::uint32_t generation() const { return _generation; }
+    std::uint32_t arrivedCount() const { return _arrived; }
+    std::uint32_t numPes() const { return _pes; }
+    Cycles latencyCycles() const { return _latency; }
+
+  private:
+    std::uint32_t _pes;
+    Cycles _latency;
+    std::vector<bool> _present;
+    std::uint32_t _arrived = 0;
+    Cycles _maxArrival = 0;
+    std::uint32_t _generation = 0;
+    Cycles _lastExit = 0;
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_BARRIER_HH

@@ -1,0 +1,151 @@
+#include "shell/blt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::shell
+{
+
+BlockTransferEngine::BlockTransferEngine(const ShellConfig &config,
+                                         PeId local_pe,
+                                         MachinePort &machine,
+                                         alpha::AlphaCore &core)
+    : _config(config), _localPe(local_pe), _machine(machine), _core(core)
+{
+}
+
+Cycles
+BlockTransferEngine::invoke()
+{
+    ++_transfers;
+    // The OS call serializes the processor: pending stores drain and
+    // the full startup overhead is charged.
+    _core.mb();
+    _core.charge(_config.bltStartupCycles);
+    return _core.clock().now();
+}
+
+Cycles
+BlockTransferEngine::streamCycles(std::size_t len, bool is_read) const
+{
+    const double per_byte = is_read ? _config.bltReadCyclesPerByte
+                                    : _config.bltWriteCyclesPerByte;
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(len) * per_byte));
+}
+
+Cycles
+BlockTransferEngine::startRead(PeId src, Addr remote_offset,
+                               Addr local_offset, std::size_t len)
+{
+    const Cycles start = invoke();
+    const Cycles transit = _machine.transitCycles(_localPe, src);
+
+    std::vector<std::uint8_t> buf(len);
+    if (src == _localPe)
+        _core.storage().readBlock(remote_offset, buf.data(), len);
+    else
+        _machine.remoteMemory(src).bulkReadRaw(remote_offset, buf.data(),
+                                               len);
+    _core.storage().writeBlock(local_offset, buf.data(), len);
+
+    // DMA into local memory: any cached copies of the destination
+    // are invalidated (the engine is not coherent with the cache).
+    const std::uint64_t line = _core.dcache().lineBytes();
+    for (Addr a = local_offset & ~(line - 1); a < local_offset + len;
+         a += line) {
+        _core.dcache().invalidate(a);
+    }
+
+    _lastCompletion = start + transit + streamCycles(len, true);
+    return _lastCompletion;
+}
+
+Cycles
+BlockTransferEngine::startWrite(PeId dst, Addr remote_offset,
+                                Addr local_offset, std::size_t len)
+{
+    const Cycles start = invoke();
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+
+    std::vector<std::uint8_t> buf(len);
+    _core.storage().readBlock(local_offset, buf.data(), len);
+    if (dst == _localPe)
+        _core.storage().writeBlock(remote_offset, buf.data(), len);
+    else
+        _machine.remoteMemory(dst).bulkWriteRaw(remote_offset, buf.data(),
+                                                len);
+
+    _lastCompletion = start + transit + streamCycles(len, false);
+    return _lastCompletion;
+}
+
+Cycles
+BlockTransferEngine::startStridedRead(PeId src, Addr remote_offset,
+                                      std::size_t remote_stride,
+                                      Addr local_offset,
+                                      std::size_t local_stride,
+                                      std::size_t elem_bytes,
+                                      std::size_t count)
+{
+    const Cycles start = invoke();
+    const Cycles transit = _machine.transitCycles(_localPe, src);
+
+    std::vector<std::uint8_t> elem(elem_bytes);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Addr roff = remote_offset + i * remote_stride;
+        const Addr loff = local_offset + i * local_stride;
+        if (src == _localPe)
+            _core.storage().readBlock(roff, elem.data(), elem_bytes);
+        else
+            _machine.remoteMemory(src).bulkReadRaw(roff, elem.data(),
+                                                   elem_bytes);
+        _core.storage().writeBlock(loff, elem.data(), elem_bytes);
+        _core.dcache().invalidate(loff);
+    }
+
+    _lastCompletion = start + transit +
+        streamCycles(count * elem_bytes, true) +
+        Cycles{count} * _config.bltStridedElemCycles;
+    return _lastCompletion;
+}
+
+Cycles
+BlockTransferEngine::startStridedWrite(PeId dst, Addr remote_offset,
+                                       std::size_t remote_stride,
+                                       Addr local_offset,
+                                       std::size_t local_stride,
+                                       std::size_t elem_bytes,
+                                       std::size_t count)
+{
+    const Cycles start = invoke();
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+
+    std::vector<std::uint8_t> elem(elem_bytes);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Addr roff = remote_offset + i * remote_stride;
+        const Addr loff = local_offset + i * local_stride;
+        _core.storage().readBlock(loff, elem.data(), elem_bytes);
+        if (dst == _localPe)
+            _core.storage().writeBlock(roff, elem.data(), elem_bytes);
+        else
+            _machine.remoteMemory(dst).bulkWriteRaw(roff, elem.data(),
+                                                    elem_bytes);
+    }
+
+    _lastCompletion = start + transit +
+        streamCycles(count * elem_bytes, false) +
+        Cycles{count} * _config.bltStridedElemCycles;
+    return _lastCompletion;
+}
+
+void
+BlockTransferEngine::wait(Cycles completion)
+{
+    _core.clock().syncTo(completion);
+}
+
+} // namespace t3dsim::shell

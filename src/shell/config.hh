@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Calibration constants of the T3D shell. Every value is annotated
+ * with the paper section whose measurement it reproduces; benches
+ * report modeled-vs-paper numbers side by side (see EXPERIMENTS.md).
+ */
+
+#ifndef T3DSIM_SHELL_CONFIG_HH
+#define T3DSIM_SHELL_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/** All shell timing parameters. */
+struct ShellConfig
+{
+    /** @name Remote read path (§4.2: uncached 91 cy, cached 114 cy) */
+    /// @{
+    /** Fixed shell processing, request + response, both ends. */
+    Cycles readFixedCycles = 65;
+
+    /** Extra cycles a cached read pays for its 32-byte payload. */
+    Cycles cachedReadExtraCycles = 23;
+
+    /**
+     * Extra page-miss cost in the *remote* memory controller beyond
+     * the local DRAM model's off-page penalty (§4.2 reports ~15
+     * cycles total for remote vs 9 locally).
+     */
+    Cycles remoteOffPageExtraCycles = 6;
+    /// @}
+
+    /** @name Remote write path (§4.3: blocking 130 cy; §5.3: 17 cy) */
+    /// @{
+    /**
+     * Injection cost of a drained line: base + perByte * payload.
+     * A single-word line costs 5 + 1.5*8 = 17 cycles (the §5.3
+     * steady-state non-blocking write cost); a full 32-byte line
+     * costs ~53 cycles, which is what limits bulk stores to the
+     * "apparently bus limited" 90 MB/s of §6.2.
+     */
+    Cycles writeInjectBaseCycles = 5;
+    double writeInjectPerByteCycles = 1.5;
+
+    /** Fixed shell processing for a write + its acknowledgement. */
+    Cycles writeFixedCycles = 62;
+
+    /** Writes allowed in flight before injection backpressure. */
+    unsigned writeWindow = 4;
+
+    /** Reading and testing the outstanding-write status bit. */
+    Cycles statusPollCycles = 12;
+    /// @}
+
+    /** @name Binding prefetch (§5.2 breakdown: 4/4/80/23) */
+    /// @{
+    unsigned prefetchSlots = 16;
+    Cycles prefetchIssueCycles = 4;
+    Cycles prefetchPopCycles = 23;
+
+    /** Fixed request+response cost excluding transit and DRAM. */
+    Cycles prefetchFixedCycles = 50;
+
+    /** Pipelined injection interval for back-to-back prefetches. */
+    Cycles prefetchInjectCycles = 5;
+
+    /**
+     * Below this many outstanding prefetches an MB is needed before
+     * popping to force the requests out of the write buffer (§5.2).
+     */
+    unsigned prefetchMbThreshold = 4;
+    /// @}
+
+    /** @name Block transfer engine (§6.2: 180 us startup, 140 MB/s) */
+    /// @{
+    /** OS-invocation startup overhead. */
+    Cycles bltStartupCycles = usToCycles(180.0);
+
+    /** Streaming read cost: 140 MB/s peak -> ~1.07 cy/byte. */
+    double bltReadCyclesPerByte = 1.071;
+
+    /** Streaming write cost: modeled 75 MB/s (never beats stores). */
+    double bltWriteCyclesPerByte = 2.0;
+
+    /** Extra per-element cost of strided transfers. */
+    Cycles bltStridedElemCycles = 2;
+    /// @}
+
+    /** @name Synchronization (§7) */
+    /// @{
+    /** Hardware global-OR barrier latency (assumed; see DESIGN.md). */
+    Cycles barrierLatencyCycles = 40;
+
+    /** Fetch&increment: ~1 us total (§7.4), minus transit. */
+    Cycles fetchIncFixedCycles = 142;
+
+    /** Atomic swap fixed cost on top of transit + remote DRAM. */
+    Cycles swapFixedCycles = 70;
+    /// @}
+
+    /** @name User-level message queue (§7.3) */
+    /// @{
+    /** PAL-call send: measured 122 cycles / 813 ns. */
+    Cycles msgSendCycles = 122;
+
+    /** OS interrupt on message arrival: 25 us. */
+    Cycles msgInterruptCycles = usToCycles(25.0);
+
+    /** Additional switch to a user-level message handler: 33 us. */
+    Cycles msgHandlerCycles = usToCycles(33.0);
+    /// @}
+
+    /** Annex register update via store-conditional (§3.2): 23 cy. */
+    Cycles annexUpdateCycles = 23;
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_CONFIG_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-node fetch&increment registers (§7.4).
+ *
+ * Each node's shell provides two fetch&increment registers used to
+ * build N-to-1 queues (message queues, work counters) out of shared
+ * memory primitives. Remote access costs roughly a remote read; the
+ * RemoteEngine charges the requester, this class is the (atomic)
+ * register state plus the small shell-side service cost.
+ */
+
+#ifndef T3DSIM_SHELL_FETCH_INC_HH
+#define T3DSIM_SHELL_FETCH_INC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/** The two shell-resident fetch&increment registers of one node. */
+class FetchIncRegisters
+{
+  public:
+    /** Number of registers per node (§1.2: two). */
+    static constexpr unsigned numRegs = 2;
+
+    /** Shell-side service cost of one fetch&increment. */
+    static constexpr Cycles serviceCycles = 5;
+
+    /** Atomically return the current value and increment. */
+    std::uint64_t fetchInc(unsigned reg);
+
+    /** Set register @p reg (initialization). */
+    void set(unsigned reg, std::uint64_t value);
+
+    /** Read register @p reg without modifying it. */
+    std::uint64_t get(unsigned reg) const;
+
+  private:
+    std::array<std::uint64_t, numRegs> _regs{};
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_FETCH_INC_HH

@@ -1,0 +1,51 @@
+#include "shell/msg_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::shell
+{
+
+MessageQueue::MessageQueue(const ShellConfig &config)
+    : _config(config)
+{
+}
+
+void
+MessageQueue::deliver(Cycles arrive, const std::uint64_t words[4])
+{
+    Message msg;
+    msg.arrival = arrive;
+    std::copy(words, words + 4, msg.words.begin());
+    // Keep the queue ordered by arrival so the receiver drains
+    // messages in delivery order.
+    auto pos = std::upper_bound(
+        _queue.begin(), _queue.end(), arrive,
+        [](Cycles t, const Message &m) { return t < m.arrival; });
+    _queue.insert(pos, msg);
+    ++_delivered;
+}
+
+std::optional<Cycles>
+MessageQueue::headArrival() const
+{
+    if (_queue.empty())
+        return std::nullopt;
+    return _queue.front().arrival;
+}
+
+std::pair<Message, Cycles>
+MessageQueue::dequeue(Cycles now, bool handler_mode)
+{
+    T3D_ASSERT(hasMessage(), "dequeue from an empty message queue");
+    Message msg = _queue.front();
+    _queue.pop_front();
+
+    Cycles done = std::max(now, msg.arrival) + _config.msgInterruptCycles;
+    if (handler_mode)
+        done += _config.msgHandlerCycles;
+    return {msg, done};
+}
+
+} // namespace t3dsim::shell

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * User-level message queue, receiver side (§7.3).
+ *
+ * Sends are cheap (a 122-cycle PAL call, charged by the
+ * RemoteEngine); receives are expensive: the arriving message
+ * interrupts the processor (25 us) before landing in the user-level
+ * queue, and dispatching to a user message handler costs a further
+ * 33 us. Those costs are charged to the *receiving* processor when
+ * it takes a message out of the queue.
+ */
+
+#ifndef T3DSIM_SHELL_MSG_QUEUE_HH
+#define T3DSIM_SHELL_MSG_QUEUE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "shell/config.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/** A four-word T3D network message. */
+struct Message
+{
+    /** Network arrival time at the receiving node. */
+    Cycles arrival = 0;
+
+    std::array<std::uint64_t, 4> words{};
+};
+
+/** Per-node user-level receive queue. */
+class MessageQueue
+{
+  public:
+    explicit MessageQueue(const ShellConfig &config);
+
+    /** Network-side delivery of an arriving message. */
+    void deliver(Cycles arrive, const std::uint64_t words[4]);
+
+    /** True if a message is queued (regardless of arrival time). */
+    bool hasMessage() const { return !_queue.empty(); }
+
+    /** Arrival time of the queue head, if any. */
+    std::optional<Cycles> headArrival() const;
+
+    /**
+     * Dequeue the head message and compute the time the receiving
+     * processor is done absorbing it:
+     *   max(now, arrival) + interrupt (+ handler dispatch when
+     *   @p handler_mode).
+     *
+     * The caller advances its clock to the returned time.
+     */
+    std::pair<Message, Cycles> dequeue(Cycles now, bool handler_mode);
+
+    std::size_t depth() const { return _queue.size(); }
+    std::uint64_t delivered() const { return _delivered; }
+
+  private:
+    const ShellConfig &_config;
+    std::deque<Message> _queue;
+    std::uint64_t _delivered = 0;
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_MSG_QUEUE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Interfaces through which one node's shell reaches the rest of the
+ * machine. The machine layer implements these; shell components stay
+ * independently testable against mocks.
+ */
+
+#ifndef T3DSIM_SHELL_PORTS_HH
+#define T3DSIM_SHELL_PORTS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/**
+ * The memory side of one node as seen from the network: requests
+ * arrive with a timestamp, are serviced against that node's DRAM
+ * timing and backing storage, and report their completion time.
+ *
+ * Timing is tracked per *requester stream*: each remote PE sees its
+ * own DRAM page/bank state on the target, which models the page
+ * locality of its own access pattern (what the paper's single-
+ * requester probes measure) while ignoring cross-PE queueing. A
+ * per-PE-logical-clock model cannot order concurrent requesters
+ * faithfully, so contention is deliberately left out (see
+ * DESIGN.md).
+ */
+class RemoteMemoryPort
+{
+  public:
+    virtual ~RemoteMemoryPort() = default;
+
+    /**
+     * Service a remote read of @p len bytes at segment offset
+     * @p offset arriving at time @p arrive.
+     * @return Completion time at the remote memory.
+     */
+    virtual Cycles serviceRead(Cycles arrive, Addr offset, void *dst,
+                               std::size_t len, PeId requester) = 0;
+
+    /**
+     * Service a remote write. In cache-invalidate mode (always on in
+     * the Split-C implementation, §4.4) the owning node's cache line
+     * is flushed so its processor cannot read a stale copy.
+     */
+    virtual Cycles serviceWrite(Cycles arrive, Addr offset,
+                                const void *src, std::size_t len,
+                                bool cache_inval, PeId requester) = 0;
+
+    /**
+     * Service a masked line write (drained write-buffer entry):
+     * byte i of @p data is stored at line_offset + i iff bit i of
+     * @p byte_mask is set. One DRAM access is charged.
+     */
+    virtual Cycles serviceWriteMasked(Cycles arrive, Addr line_offset,
+                                      const std::uint8_t *data,
+                                      std::uint32_t byte_mask,
+                                      bool cache_inval,
+                                      PeId requester) = 0;
+
+    /**
+     * Atomic swap between the requester's shell register and memory.
+     * @return Completion time; @p old_value receives the pre-swap
+     *         contents.
+     */
+    virtual Cycles serviceSwap(Cycles arrive, Addr offset,
+                               std::uint64_t new_value,
+                               std::uint64_t &old_value,
+                               PeId requester) = 0;
+
+    /**
+     * Atomic fetch-and-increment of shell register @p reg (0 or 1).
+     * @return Completion time; @p old_value receives the pre-
+     *         increment value.
+     */
+    virtual Cycles serviceFetchInc(Cycles arrive, unsigned reg,
+                                   std::uint64_t &old_value) = 0;
+
+    /**
+     * Deliver a user-level message (§7.3). The receiving node's OS
+     * charges the interrupt cost when its processor next interacts
+     * with the queue.
+     */
+    virtual void serviceMessage(Cycles arrive,
+                                const std::uint64_t words[4]) = 0;
+
+    /**
+     * Untimed bulk data access for the block-transfer engine, which
+     * computes its own streaming time (§6.2). Writes invalidate any
+     * affected cache lines on the owning node.
+     */
+    virtual void bulkReadRaw(Addr offset, void *dst, std::size_t len) = 0;
+    virtual void bulkWriteRaw(Addr offset, const void *src,
+                              std::size_t len) = 0;
+};
+
+/** Machine-level services available to every shell. */
+class MachinePort
+{
+  public:
+    virtual ~MachinePort() = default;
+
+    /** One-way network transit time between two PEs. */
+    virtual Cycles transitCycles(PeId src, PeId dst) const = 0;
+
+    /** Memory side of node @p pe. */
+    virtual RemoteMemoryPort &remoteMemory(PeId pe) = 0;
+
+    /** Number of PEs in the machine. */
+    virtual std::uint32_t numPes() const = 0;
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_PORTS_HH

@@ -1,0 +1,77 @@
+#include "shell/prefetch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::shell
+{
+
+PrefetchQueue::PrefetchQueue(const ShellConfig &config, PeId local_pe,
+                             MachinePort &machine, alpha::AlphaCore &core)
+    : _config(config), _localPe(local_pe), _machine(machine), _core(core)
+{
+}
+
+void
+PrefetchQueue::issue(PeId dst, Addr offset)
+{
+    T3D_ASSERT(!full(),
+               "prefetch issued into a full queue (hardware would "
+               "corrupt the FIFO)");
+    ++_issued;
+
+    Clock &clock = _core.clock();
+    clock.advance(_config.prefetchIssueCycles);
+
+    // The request leaves through the shell's injection channel;
+    // back-to-back prefetches pipeline at the injection interval.
+    const Cycles start = std::max(clock.now(), _injectFree);
+    const Cycles injected = start + _config.prefetchInjectCycles;
+    _injectFree = injected;
+
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+
+    Slot slot{};
+    if (dst == _localPe) {
+        // Prefetch of a local address: served by local memory, no
+        // network transit. (Useful and legal; rare in practice.)
+        auto access = _core.dram().access(injected, offset);
+        // The request is ordered behind pending write-buffer entries
+        // (prefetches travel through the write buffer, §5.2), so it
+        // observes the core's coherent view.
+        slot.data = _core.peekU64(offset);
+        slot.arrival = access.complete + _config.prefetchFixedCycles;
+    } else {
+        RemoteMemoryPort &port = _machine.remoteMemory(dst);
+        // BINDING: the value is captured at remote service time.
+        const Cycles remote_done =
+            port.serviceRead(injected + transit, offset, &slot.data, 8,
+                             _localPe);
+        slot.arrival =
+            remote_done + transit + _config.prefetchFixedCycles;
+    }
+
+    // FIFO arrival order cannot invert: a later request's data is
+    // not visible before an earlier one's.
+    if (!_fifo.empty())
+        slot.arrival = std::max(slot.arrival, _fifo.back().arrival);
+    _fifo.push_back(slot);
+}
+
+std::uint64_t
+PrefetchQueue::pop()
+{
+    T3D_ASSERT(!_fifo.empty(), "pop from an empty prefetch queue");
+    ++_popped;
+
+    Slot slot = _fifo.front();
+    _fifo.pop_front();
+
+    Clock &clock = _core.clock();
+    clock.syncTo(slot.arrival);
+    clock.advance(_config.prefetchPopCycles);
+    return slot.data;
+}
+
+} // namespace t3dsim::shell

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The 16-entry binding prefetch queue (§5.2).
+ *
+ * The Alpha FETCH hint is interpreted by the shell as a *binding*
+ * prefetch: the remote word is fetched immediately (its value is
+ * captured at service time, not at pop time) into an off-chip FIFO
+ * that the processor pops by loading a memory-mapped address.
+ *
+ * Modeled cost structure, matching the paper's breakdown:
+ *   issue 4 cycles, MB 4 cycles (charged by the caller when fewer
+ *   than 4 prefetches are outstanding), ~80-cycle round trip,
+ *   23-cycle pop. Back-to-back prefetches pipeline through the
+ *   injection channel and the remote DRAM, which is what makes a
+ *   group of 16 cost ~31 cycles per element.
+ */
+
+#ifndef T3DSIM_SHELL_PREFETCH_HH
+#define T3DSIM_SHELL_PREFETCH_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "alpha/core.hh"
+#include "shell/config.hh"
+#include "shell/ports.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::shell
+{
+
+/** Per-node binding prefetch FIFO. */
+class PrefetchQueue
+{
+  public:
+    PrefetchQueue(const ShellConfig &config, PeId local_pe,
+                  MachinePort &machine, alpha::AlphaCore &core);
+
+    /**
+     * Issue a binding prefetch of the quadword at @p offset on node
+     * @p dst. Charges the issue cost to the local clock. Issuing
+     * into a full queue is a programming error (the hardware would
+     * corrupt state); the model panics.
+     */
+    void issue(PeId dst, Addr offset);
+
+    /**
+     * Pop the queue head: stalls until the head's data has arrived,
+     * then charges the off-chip pop cost.
+     */
+    std::uint64_t pop();
+
+    /** Entries issued and not yet popped. */
+    unsigned outstanding() const
+    {
+        return static_cast<unsigned>(_fifo.size());
+    }
+
+    bool full() const { return outstanding() >= _config.prefetchSlots; }
+    bool empty() const { return _fifo.empty(); }
+
+    /**
+     * True if the caller must MB before popping (fewer than the
+     * write-buffer-flushing threshold of requests outstanding, §5.2).
+     */
+    bool needsMbBeforePop() const
+    {
+        return outstanding() < _config.prefetchMbThreshold;
+    }
+
+    std::uint64_t issued() const { return _issued; }
+    std::uint64_t popped() const { return _popped; }
+
+  private:
+    struct Slot
+    {
+        Cycles arrival;
+        std::uint64_t data;
+    };
+
+    const ShellConfig &_config;
+    PeId _localPe;
+    MachinePort &_machine;
+    alpha::AlphaCore &_core;
+
+    std::deque<Slot> _fifo;
+    Cycles _injectFree = 0;
+    std::uint64_t _issued = 0;
+    std::uint64_t _popped = 0;
+};
+
+} // namespace t3dsim::shell
+
+#endif // T3DSIM_SHELL_PREFETCH_HH

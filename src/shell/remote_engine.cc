@@ -1,0 +1,162 @@
+#include "shell/remote_engine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::shell
+{
+
+RemoteEngine::RemoteEngine(const ShellConfig &config, PeId local_pe,
+                           MachinePort &machine, alpha::AlphaCore &core)
+    : _config(config), _localPe(local_pe), _machine(machine), _core(core)
+{
+}
+
+std::uint64_t
+RemoteEngine::read(PeId dst, Addr offset, Addr pa, ReadMode mode)
+{
+    T3D_ASSERT(dst != _localPe,
+               "remote engine asked to read from the local node");
+    ++_readsPerformed;
+
+    Clock &clock = _core.clock();
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+    RemoteMemoryPort &port = _machine.remoteMemory(dst);
+
+    const Cycles request_arrive = clock.now() + transit;
+
+    std::uint64_t value = 0;
+    Cycles done;
+    if (mode == ReadMode::Cached) {
+        // Transfer the whole 32-byte line and install it locally.
+        const std::size_t line_bytes = _core.dcache().lineBytes();
+        const Addr line_offset = offset & ~(line_bytes - 1);
+        std::vector<std::uint8_t> line(line_bytes);
+        Cycles remote_done =
+            port.serviceRead(request_arrive, line_offset, line.data(),
+                             line_bytes, _localPe);
+        done = remote_done + transit + _config.readFixedCycles +
+            _config.cachedReadExtraCycles;
+        const Addr line_pa = pa & ~(Addr{line_bytes} - 1);
+        _core.dcache().fill(line_pa, line.data());
+        std::memcpy(&value, line.data() + (offset - line_offset), 8);
+    } else {
+        Cycles remote_done =
+            port.serviceRead(request_arrive, offset, &value, 8,
+                             _localPe);
+        done = remote_done + transit + _config.readFixedCycles;
+    }
+
+    clock.advanceTo(done);
+    return value;
+}
+
+Cycles
+RemoteEngine::injectWriteLine(Cycles ready, PeId dst, Addr line_offset,
+                              const std::uint8_t *data,
+                              std::uint32_t byte_mask,
+                              Cycles *remote_done_out)
+{
+    T3D_ASSERT(dst != _localPe,
+               "remote engine asked to write to the local node");
+    ++_writesInjected;
+
+    Cycles start = std::max(ready, _injectFree);
+    // Backpressure: at most writeWindow writes between injection and
+    // remote service completion.
+    if (_inflight.size() >= _config.writeWindow) {
+        start = std::max(
+            start, _inflight[_inflight.size() - _config.writeWindow]);
+    }
+    const auto payload_bytes =
+        static_cast<unsigned>(std::popcount(byte_mask));
+    const Cycles inject_cost = _config.writeInjectBaseCycles +
+        static_cast<Cycles>(_config.writeInjectPerByteCycles *
+                            payload_bytes);
+    const Cycles injected = start + inject_cost;
+    _injectFree = injected;
+
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+    RemoteMemoryPort &port = _machine.remoteMemory(dst);
+
+    const Cycles remote_done = port.serviceWriteMasked(
+        injected + transit, line_offset, data, byte_mask,
+        /*cache_inval=*/true, _localPe);
+
+    if (remote_done_out)
+        *remote_done_out = remote_done;
+    _inflight.push_back(remote_done);
+    while (_inflight.size() > _config.writeWindow)
+        _inflight.pop_front();
+
+    const Cycles ack =
+        remote_done + transit + _config.writeFixedCycles;
+    _acks.record(ack, 1);
+    _lastAck = std::max(_lastAck, ack);
+
+    return injected;
+}
+
+bool
+RemoteEngine::writesOutstanding(Cycles now) const
+{
+    return _acks.arrivedBy(now) < _writesInjected;
+}
+
+Cycles
+RemoteEngine::quietTime(Cycles now) const
+{
+    return std::max(now, _lastAck);
+}
+
+void
+RemoteEngine::pollUntilQuiet()
+{
+    Clock &clock = _core.clock();
+    clock.advanceTo(quietTime(clock.now()));
+    clock.advance(_config.statusPollCycles);
+}
+
+std::uint64_t
+RemoteEngine::swap(PeId dst, Addr offset, std::uint64_t new_value)
+{
+    Clock &clock = _core.clock();
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+    RemoteMemoryPort &port = _machine.remoteMemory(dst);
+
+    std::uint64_t old_value = 0;
+    const Cycles remote_done = port.serviceSwap(
+        clock.now() + transit, offset, new_value, old_value, _localPe);
+    clock.advanceTo(remote_done + transit + _config.swapFixedCycles);
+    return old_value;
+}
+
+std::uint64_t
+RemoteEngine::fetchInc(PeId dst, unsigned reg)
+{
+    Clock &clock = _core.clock();
+    const Cycles transit = _machine.transitCycles(_localPe, dst);
+    RemoteMemoryPort &port = _machine.remoteMemory(dst);
+
+    std::uint64_t old_value = 0;
+    const Cycles remote_done =
+        port.serviceFetchInc(clock.now() + transit, reg, old_value);
+    clock.advanceTo(remote_done + transit + _config.fetchIncFixedCycles);
+    return old_value;
+}
+
+void
+RemoteEngine::sendMessage(PeId dst, const std::uint64_t words[4])
+{
+    Clock &clock = _core.clock();
+    clock.advance(_config.msgSendCycles);
+    const Cycles arrive =
+        clock.now() + _machine.transitCycles(_localPe, dst);
+    _machine.remoteMemory(dst).serviceMessage(arrive, words);
+}
+
+} // namespace t3dsim::shell

@@ -1,0 +1,24 @@
+#include "shell/shell.hh"
+
+namespace t3dsim::shell
+{
+
+Shell::Shell(const ShellConfig &config, PeId local_pe, MachinePort &machine,
+             alpha::AlphaCore &core)
+    : _config(config), _localPe(local_pe), _core(core), _annex(local_pe),
+      _prefetch(_config, local_pe, machine, core),
+      _remote(_config, local_pe, machine, core),
+      _blt(_config, local_pe, machine, core), _messages(_config)
+{
+}
+
+void
+Shell::setAnnex(unsigned idx, const AnnexEntry &entry)
+{
+    // Updated at user level with store-conditional at a measured
+    // cost typical of off-chip access, 23 cycles (§3.2).
+    _core.charge(_config.annexUpdateCycles);
+    _annex.set(idx, entry);
+}
+
+} // namespace t3dsim::shell

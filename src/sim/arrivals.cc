@@ -1,0 +1,79 @@
+#include "sim/arrivals.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace t3dsim
+{
+
+void
+ArrivalLog::record(Cycles when, std::uint64_t amount)
+{
+    if (amount == 0)
+        return;
+    _total += amount;
+    // Most arrivals are recorded roughly in time order; fall back to a
+    // sorted insert when they are not.
+    if (_entries.empty() || _entries.back().when <= when) {
+        _entries.push_back({when, amount});
+        return;
+    }
+    auto pos = std::upper_bound(
+        _entries.begin(), _entries.end(), when,
+        [](Cycles t, const Entry &e) { return t < e.when; });
+    _entries.insert(pos, {when, amount});
+}
+
+std::optional<Cycles>
+ArrivalLog::timeOfCumulative(std::uint64_t amount) const
+{
+    if (amount == 0)
+        return Cycles{0};
+    std::uint64_t acc = 0;
+    for (const auto &e : _entries) {
+        acc += e.amount;
+        if (acc >= amount)
+            return e.when;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+ArrivalLog::arrivedBy(Cycles when) const
+{
+    std::uint64_t acc = 0;
+    for (const auto &e : _entries) {
+        if (e.when > when)
+            break;
+        acc += e.amount;
+    }
+    return acc;
+}
+
+void
+ArrivalLog::consume(std::uint64_t amount)
+{
+    T3D_ASSERT(amount <= _total, "consuming more than arrived");
+    _total -= amount;
+    while (amount > 0) {
+        T3D_ASSERT(!_entries.empty(), "arrival log underflow");
+        Entry &front = _entries.front();
+        if (front.amount > amount) {
+            front.amount -= amount;
+            amount = 0;
+        } else {
+            amount -= front.amount;
+            _entries.erase(_entries.begin());
+        }
+    }
+}
+
+void
+ArrivalLog::reset()
+{
+    _entries.clear();
+    _total = 0;
+}
+
+} // namespace t3dsim

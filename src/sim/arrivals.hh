@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Timestamped arrival tracking.
+ *
+ * Remote effects (signaling stores, messages) are delivered to a node
+ * with a completion timestamp computed by the network/memory model.
+ * ArrivalLog records (time, amount) pairs and answers the question
+ * "at what time had at least N units arrived?", which is exactly the
+ * semantics needed by Split-C's store_sync and by message polling.
+ */
+
+#ifndef T3DSIM_SIM_ARRIVALS_HH
+#define T3DSIM_SIM_ARRIVALS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim
+{
+
+/** Ordered log of timestamped quantity arrivals at one node. */
+class ArrivalLog
+{
+  public:
+    /** Record @p amount units arriving at time @p when. */
+    void record(Cycles when, std::uint64_t amount);
+
+    /** Total units recorded since the last reset. */
+    std::uint64_t totalArrived() const { return _total; }
+
+    /**
+     * Earliest time at which the cumulative arrived amount reaches
+     * @p amount, or nullopt if it never does (yet).
+     */
+    std::optional<Cycles> timeOfCumulative(std::uint64_t amount) const;
+
+    /** Units that had arrived by time @p when (inclusive). */
+    std::uint64_t arrivedBy(Cycles when) const;
+
+    /**
+     * Consume @p amount units from the front of the log (after a
+     * successful wait), keeping later arrivals for the next phase.
+     */
+    void consume(std::uint64_t amount);
+
+    /** Drop everything. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t amount;
+    };
+
+    /** Kept sorted by time; record() inserts in order. */
+    std::vector<Entry> _entries;
+    std::uint64_t _total = 0;
+};
+
+} // namespace t3dsim
+
+#endif // T3DSIM_SIM_ARRIVALS_HH

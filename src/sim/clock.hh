@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-node logical clock.
+ *
+ * Every processing element owns a Clock; memory-system components
+ * charge cycles to it as abstract instructions execute. Clocks only
+ * move forward. The SPMD executor synchronizes clocks at barriers and
+ * other interaction points.
+ */
+
+#ifndef T3DSIM_SIM_CLOCK_HH
+#define T3DSIM_SIM_CLOCK_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace t3dsim
+{
+
+/** Monotonic cycle counter for one processing element. */
+class Clock
+{
+  public:
+    Clock() = default;
+
+    /** Current time in cycles since simulation start. */
+    Cycles now() const { return _now; }
+
+    /** Advance the clock by @p cycles. */
+    void advance(Cycles cycles) { _now += cycles; }
+
+    /**
+     * Move the clock forward to an absolute point in time.
+     * Moving backwards is a simulator bug.
+     */
+    void
+    advanceTo(Cycles when)
+    {
+        T3D_ASSERT(when >= _now,
+                   "clock moved backwards: ", _now, " -> ", when);
+        _now = when;
+    }
+
+    /** Advance to @p when if it is in the future; otherwise no-op. */
+    void syncTo(Cycles when) { if (when > _now) _now = when; }
+
+    /** Reset to time zero (test support). */
+    void reset() { _now = 0; }
+
+    /** Current time in nanoseconds. */
+    double nowNs() const { return cyclesToNs(_now); }
+
+  private:
+    Cycles _now = 0;
+};
+
+} // namespace t3dsim
+
+#endif // T3DSIM_SIM_CLOCK_HH

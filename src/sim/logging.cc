@@ -1,0 +1,64 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace t3dsim
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * When set (by tests), panic/fatal throw instead of aborting so that
+ * death paths can be exercised without forking.
+ */
+bool throwOnError = false;
+
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("panic: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    if (throwOnError)
+        throw std::logic_error(full);
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("fatal: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    if (throwOnError)
+        throw std::runtime_error(full);
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace t3dsim

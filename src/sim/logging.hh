@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations, fatal() for user-caused configuration errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef T3DSIM_SIM_LOGGING_HH
+#define T3DSIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace t3dsim
+{
+
+namespace detail
+{
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/**
+ * Make panic()/fatal() throw std::logic_error / std::runtime_error
+ * instead of terminating. Used by tests to exercise error paths.
+ */
+void setThrowOnError(bool enable);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on a condition that indicates a simulator bug. */
+#define T3D_PANIC(...)                                                     \
+    ::t3dsim::detail::panicImpl(__FILE__, __LINE__,                        \
+        ::t3dsim::detail::composeMessage(__VA_ARGS__))
+
+/** Exit cleanly on a condition caused by invalid user input. */
+#define T3D_FATAL(...)                                                     \
+    ::t3dsim::detail::fatalImpl(__FILE__, __LINE__,                        \
+        ::t3dsim::detail::composeMessage(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define T3D_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::t3dsim::detail::panicImpl(__FILE__, __LINE__,                \
+                ::t3dsim::detail::composeMessage(                          \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__));       \
+        }                                                                  \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define T3D_WARN(...)                                                      \
+    ::t3dsim::detail::warnImpl(::t3dsim::detail::composeMessage(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define T3D_INFORM(...)                                                    \
+    ::t3dsim::detail::informImpl(                                          \
+        ::t3dsim::detail::composeMessage(__VA_ARGS__))
+
+} // namespace t3dsim
+
+#endif // T3DSIM_SIM_LOGGING_HH

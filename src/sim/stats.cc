@@ -1,0 +1,83 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace t3dsim
+{
+
+void
+RunningStat::add(double x)
+{
+    ++_count;
+    _sum += x;
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+    // Welford's online algorithm.
+    double delta = x - _meanAcc;
+    _meanAcc += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _meanAcc);
+}
+
+double
+RunningStat::variance() const
+{
+    return _count >= 2 ? _m2 / static_cast<double>(_count) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : _lo(lo), _hi(hi), _width((hi - lo) / static_cast<double>(buckets)),
+      _counts(buckets, 0)
+{
+    T3D_ASSERT(buckets > 0, "histogram needs at least one bucket");
+    T3D_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_total;
+    if (x < _lo) {
+        ++_underflow;
+    } else if (x >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((x - _lo) / _width);
+        idx = std::min(idx, _counts.size() - 1);
+        ++_counts[idx];
+    }
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return _lo + _width * static_cast<double>(i);
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    if (_underflow)
+        os << "  <" << _lo << ": " << _underflow << "\n";
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        os << "  [" << bucketLo(i) << ", " << bucketLo(i) + _width
+           << "): " << _counts[i] << "\n";
+    }
+    if (_overflow)
+        os << "  >=" << _hi << ": " << _overflow << "\n";
+    return os.str();
+}
+
+} // namespace t3dsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every t3dsim component.
+ *
+ * The simulator is a timing model: components exchange byte-accurate
+ * data through backing storage while all costs are expressed in
+ * processor cycles of the modeled 150 MHz Alpha 21064 (6.67 ns).
+ */
+
+#ifndef T3DSIM_SIM_TYPES_HH
+#define T3DSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace t3dsim
+{
+
+/** A (virtual or physical) byte address inside one node. */
+using Addr = std::uint64_t;
+
+/** A duration or point in time measured in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Processing element (node) number within the machine. */
+using PeId = std::uint32_t;
+
+/** Number of picoseconds per processor cycle at 150 MHz. */
+constexpr std::uint64_t psPerCycle = 6667;
+
+/** Convert a cycle count to nanoseconds (rounded to nearest). */
+constexpr double
+cyclesToNs(Cycles c)
+{
+    return static_cast<double>(c) * static_cast<double>(psPerCycle) / 1000.0;
+}
+
+/** Convert a cycle count to microseconds. */
+constexpr double
+cyclesToUs(Cycles c)
+{
+    return cyclesToNs(c) / 1000.0;
+}
+
+/** Convert nanoseconds to cycles (rounded to nearest). */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    return static_cast<Cycles>(ns * 1000.0 / psPerCycle + 0.5);
+}
+
+/** Convert microseconds to cycles (rounded to nearest). */
+constexpr Cycles
+usToCycles(double us)
+{
+    return nsToCycles(us * 1000.0);
+}
+
+/** Common power-of-two size literals. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+
+} // namespace t3dsim
+
+#endif // T3DSIM_SIM_TYPES_HH

@@ -1,0 +1,235 @@
+#include "splitc/executor.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "splitc/proc.hh"
+#include "sim/logging.hh"
+
+namespace t3dsim::splitc
+{
+
+// ---------------------------------------------------------------------
+// Awaitables
+// ---------------------------------------------------------------------
+
+bool
+BarrierAwaiter::await_ready() const noexcept
+{
+    // The arrival was recorded by startBarrier(); the awaiter only
+    // asks whether the generation has already completed.
+    return proc.barrierReady();
+}
+
+void
+BarrierAwaiter::await_suspend(std::coroutine_handle<>) const
+{
+    proc.scheduler().parkBarrier(proc.pe());
+}
+
+bool
+StoreSyncAwaiter::await_ready() const noexcept
+{
+    auto &log = amLog ? proc.node().amArrivals()
+                      : proc.node().storeArrivals();
+    auto when = log.timeOfCumulative(targetCumulative);
+    if (!when)
+        return false;
+    proc.clock().syncTo(*when);
+    proc.node().core().charge(proc.config().storeSyncPollCycles);
+    return true;
+}
+
+void
+StoreSyncAwaiter::await_suspend(std::coroutine_handle<>) const
+{
+    proc.scheduler().parkStoreWait(proc.pe(), targetCumulative, amLog);
+}
+
+bool
+MessageAwaiter::await_ready() const noexcept
+{
+    return proc.node().shell().messages().hasMessage();
+}
+
+void
+MessageAwaiter::await_suspend(std::coroutine_handle<>) const
+{
+    proc.scheduler().parkMessageWait(proc.pe());
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+Scheduler::Scheduler(machine::Machine &machine, const SplitcConfig &config)
+    : _machine(machine), _config(config)
+{
+    _slots.resize(machine.numPes());
+    for (PeId pe = 0; pe < machine.numPes(); ++pe) {
+        _slots[pe].proc = std::make_unique<Proc>(*this, machine,
+                                                 machine.node(pe), config);
+    }
+}
+
+Scheduler::~Scheduler() = default;
+
+Proc &
+Scheduler::proc(PeId pe)
+{
+    T3D_ASSERT(pe < _slots.size(), "proc index out of range: ", pe);
+    return *_slots[pe].proc;
+}
+
+void
+Scheduler::parkBarrier(PeId pe)
+{
+    _slots[pe].state = ProcState::BarrierWait;
+}
+
+void
+Scheduler::parkStoreWait(PeId pe, std::uint64_t target_cumulative,
+                         bool am_log)
+{
+    _slots[pe].state = ProcState::StoreWait;
+    _slots[pe].storeTarget = target_cumulative;
+    _slots[pe].storeTargetAmLog = am_log;
+}
+
+void
+Scheduler::parkMessageWait(PeId pe)
+{
+    _slots[pe].state = ProcState::MessageWait;
+}
+
+void
+Scheduler::completeBarrier(Cycles exit)
+{
+    for (auto &slot : _slots) {
+        if (slot.state != ProcState::BarrierWait)
+            continue;
+        Proc &proc = *slot.proc;
+        proc.clock().syncTo(exit);
+        proc.node().core().charge(_config.endBarrierCycles);
+        proc.clearBarrierWait();
+        slot.state = ProcState::Ready;
+    }
+    _machine.barrier().resetGeneration();
+}
+
+void
+Scheduler::serviceWakeups()
+{
+    for (auto &slot : _slots) {
+        Proc &proc = *slot.proc;
+        switch (slot.state) {
+          case ProcState::StoreWait: {
+            auto &log = slot.storeTargetAmLog
+                ? proc.node().amArrivals()
+                : proc.node().storeArrivals();
+            auto when = log.timeOfCumulative(slot.storeTarget);
+            if (when) {
+                proc.clock().syncTo(*when);
+                proc.node().core().charge(_config.storeSyncPollCycles);
+                slot.state = ProcState::Ready;
+            }
+            break;
+          }
+          case ProcState::MessageWait:
+            if (proc.node().shell().messages().hasMessage())
+                slot.state = ProcState::Ready;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+int
+Scheduler::pickNext() const
+{
+    int best = -1;
+    Cycles best_clock = std::numeric_limits<Cycles>::max();
+    for (std::size_t i = 0; i < _slots.size(); ++i) {
+        if (_slots[i].state != ProcState::Ready)
+            continue;
+        const Cycles c = _slots[i].proc->now();
+        if (c < best_clock) {
+            best_clock = c;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+std::vector<Cycles>
+Scheduler::run(const ProgramFn &program)
+{
+    T3D_ASSERT(!_running, "scheduler re-entered");
+    _running = true;
+
+    for (auto &slot : _slots) {
+        slot.task = program(*slot.proc);
+        slot.state = ProcState::Ready;
+    }
+
+    std::size_t done = 0;
+    while (done < _slots.size()) {
+        serviceWakeups();
+        int next = pickNext();
+        if (next < 0) {
+            // Nothing runnable and nothing wakeable: deadlock.
+            std::size_t barrier_waiters = 0, store_waiters = 0,
+                msg_waiters = 0;
+            for (const auto &slot : _slots) {
+                barrier_waiters +=
+                    slot.state == ProcState::BarrierWait ? 1 : 0;
+                store_waiters +=
+                    slot.state == ProcState::StoreWait ? 1 : 0;
+                msg_waiters +=
+                    slot.state == ProcState::MessageWait ? 1 : 0;
+            }
+            T3D_PANIC("SPMD deadlock: ", done, "/", _slots.size(),
+                      " done, ", barrier_waiters, " in barrier, ",
+                      store_waiters, " in store_sync, ", msg_waiters,
+                      " waiting for messages");
+        }
+
+        Slot &slot = _slots[static_cast<std::size_t>(next)];
+        auto handle = slot.task.handle();
+        handle.resume();
+
+        if (handle.done()) {
+            if (handle.promise().exception)
+                std::rethrow_exception(handle.promise().exception);
+            slot.state = ProcState::Done;
+            ++done;
+        }
+        // Else: the coroutine suspended; its awaitable already moved
+        // the slot into the right wait state (or Ready if it was
+        // woken synchronously).
+    }
+
+    _running = false;
+
+    // End-of-program flush: drain every node's write buffer so
+    // backing storage reflects all completed stores.
+    for (auto &slot : _slots)
+        slot.proc->node().mb();
+
+    std::vector<Cycles> finish;
+    finish.reserve(_slots.size());
+    for (auto &slot : _slots)
+        finish.push_back(slot.proc->now());
+    return finish;
+}
+
+std::vector<Cycles>
+runSpmd(machine::Machine &machine, const ProgramFn &program,
+        const SplitcConfig &config)
+{
+    Scheduler sched(machine, config);
+    return sched.run(program);
+}
+
+} // namespace t3dsim::splitc

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * SPMD executor: one C++20 coroutine per PE, scheduled
+ * lowest-logical-clock-first (conservative parallel discrete event
+ * execution). Coroutines suspend only at cross-PE wait points —
+ * barriers, store_sync, message receive; every other runtime
+ * operation charges the local clock and returns normally.
+ */
+
+#ifndef T3DSIM_SPLITC_EXECUTOR_HH
+#define T3DSIM_SPLITC_EXECUTOR_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "splitc/config.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::splitc
+{
+
+class Proc;
+class Scheduler;
+
+/** Coroutine handle type of one PE's program. */
+class ProcTask
+{
+  public:
+    struct promise_type
+    {
+        std::exception_ptr exception;
+
+        ProcTask
+        get_return_object()
+        {
+            return ProcTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    ProcTask() = default;
+    explicit ProcTask(std::coroutine_handle<promise_type> handle)
+        : _handle(handle)
+    {
+    }
+
+    ProcTask(ProcTask &&other) noexcept
+        : _handle(std::exchange(other._handle, nullptr))
+    {
+    }
+
+    ProcTask &
+    operator=(ProcTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            _handle = std::exchange(other._handle, nullptr);
+        }
+        return *this;
+    }
+
+    ProcTask(const ProcTask &) = delete;
+    ProcTask &operator=(const ProcTask &) = delete;
+    ~ProcTask() { destroy(); }
+
+    std::coroutine_handle<promise_type> handle() const { return _handle; }
+
+  private:
+    void
+    destroy()
+    {
+        if (_handle)
+            _handle.destroy();
+        _handle = nullptr;
+    }
+
+    std::coroutine_handle<promise_type> _handle;
+};
+
+/** A PE's program: a coroutine body receiving its runtime handle. */
+using ProgramFn = std::function<ProcTask(Proc &)>;
+
+/** Awaitable returned by Proc::barrier() / Proc::allStoreSync(). */
+struct BarrierAwaiter
+{
+    Proc &proc;
+
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<>) const;
+    void await_resume() const noexcept {}
+};
+
+/** Awaitable returned by Proc::storeSync(bytes) / Proc::amWait(). */
+struct StoreSyncAwaiter
+{
+    Proc &proc;
+    std::uint64_t targetCumulative;
+
+    /** False: wait on the store-byte log; true: on the AM log. */
+    bool amLog = false;
+
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<>) const;
+    void await_resume() const noexcept {}
+};
+
+/** Awaitable returned by Proc::waitMessage(). */
+struct MessageAwaiter
+{
+    Proc &proc;
+
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<>) const;
+    void await_resume() const noexcept {}
+};
+
+/** Per-PE scheduling state. */
+enum class ProcState : std::uint8_t
+{
+    Ready,
+    BarrierWait,
+    StoreWait,
+    MessageWait,
+    Done,
+};
+
+/**
+ * The SPMD scheduler. Owns the Proc runtime objects and coroutine
+ * frames for one run.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(machine::Machine &machine, const SplitcConfig &config);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Run @p program on every PE to completion.
+     * @return Per-PE finish times (cycles).
+     */
+    std::vector<Cycles> run(const ProgramFn &program);
+
+    /** The runtime handle of PE @p pe (valid during run()). */
+    Proc &proc(PeId pe);
+
+    machine::Machine &machine() { return _machine; }
+    const SplitcConfig &config() const { return _config; }
+
+    /** @name Called by awaitables / Proc (internal) */
+    /// @{
+    void parkBarrier(PeId pe);
+    void parkStoreWait(PeId pe, std::uint64_t target_cumulative,
+                       bool am_log);
+    void parkMessageWait(PeId pe);
+
+    /** Wake all barrier waiters at @p exit (last arriver calls). */
+    void completeBarrier(Cycles exit);
+    /// @}
+
+  private:
+    /** Index of the runnable PE with the smallest clock, or -1. */
+    int pickNext() const;
+
+    /** Wake parked PEs whose wait condition is now satisfiable. */
+    void serviceWakeups();
+
+    machine::Machine &_machine;
+    SplitcConfig _config;
+
+    struct Slot
+    {
+        std::unique_ptr<Proc> proc;
+        ProcTask task;
+        ProcState state = ProcState::Ready;
+        std::uint64_t storeTarget = 0;
+        bool storeTargetAmLog = false;
+    };
+
+    std::vector<Slot> _slots;
+    bool _running = false;
+};
+
+/**
+ * Convenience entry point: build a scheduler and run @p program on
+ * every PE of @p machine.
+ */
+std::vector<Cycles> runSpmd(machine::Machine &machine,
+                            const ProgramFn &program,
+                            const SplitcConfig &config = SplitcConfig{});
+
+} // namespace t3dsim::splitc
+
+#endif // T3DSIM_SPLITC_EXECUTOR_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Split-C global pointers (§3.1/§3.3).
+ *
+ * A global pointer is a 64-bit value: the local address in the low
+ * 48 bits and the processor number in the high 16 bits — the same
+ * size as a local pointer, so transfer is free, and because the T3D
+ * keeps bit 42 of every virtual address zero, *local* arithmetic on
+ * a global pointer is exactly local-pointer arithmetic and can never
+ * overflow into the processor field.
+ *
+ * Supported operations (the full §3.1 menu): dereference (through
+ * the runtime), transfer, local and global arithmetic, extraction/
+ * construction, and null test.
+ */
+
+#ifndef T3DSIM_SPLITC_GLOBAL_PTR_HH
+#define T3DSIM_SPLITC_GLOBAL_PTR_HH
+
+#include <compare>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace t3dsim::splitc
+{
+
+/** Untyped global address: (processor, local address). */
+class GlobalAddr
+{
+  public:
+    constexpr GlobalAddr() = default;
+
+    static constexpr GlobalAddr
+    make(PeId pe, Addr local)
+    {
+        return GlobalAddr((std::uint64_t{pe} << peShift) |
+                          (local & localMask));
+    }
+
+    /** Reconstruct from raw 64-bit representation (transfer). */
+    static constexpr GlobalAddr
+    fromBits(std::uint64_t bits)
+    {
+        return GlobalAddr(bits);
+    }
+
+    constexpr std::uint64_t bits() const { return _bits; }
+
+    /** Extraction: processor component. */
+    constexpr PeId pe() const
+    {
+        return static_cast<PeId>(_bits >> peShift);
+    }
+
+    /** Extraction: local-address component. */
+    constexpr Addr local() const { return _bits & localMask; }
+
+    /** Null test: equality with 0, like a standard pointer. */
+    constexpr bool isNull() const { return _bits == 0; }
+
+    /**
+     * Local addressing: advance by @p delta bytes on the same
+     * processor (§3.1). Plain 64-bit addition — the processor field
+     * is out of reach of any in-range local address.
+     */
+    constexpr GlobalAddr
+    addLocal(std::int64_t delta) const
+    {
+        return GlobalAddr(_bits + static_cast<std::uint64_t>(delta));
+    }
+
+    /**
+     * Global addressing: treat the space as linear with the
+     * processor varying fastest; element @p delta away in units of
+     * @p elem_bytes on a machine of @p procs processors, wrapping
+     * from the last processor to the next offset on the first
+     * (§3.1).
+     */
+    constexpr GlobalAddr
+    addGlobal(std::int64_t delta, std::size_t elem_bytes,
+              std::uint32_t procs) const
+    {
+        const std::int64_t linear =
+            static_cast<std::int64_t>(pe()) +
+            static_cast<std::int64_t>(local() / elem_bytes) * procs +
+            delta;
+        // Floor division so negative deltas wrap correctly.
+        std::int64_t row = linear / procs;
+        std::int64_t col = linear % procs;
+        if (col < 0) {
+            col += procs;
+            row -= 1;
+        }
+        const Addr off_in_elem = local() % elem_bytes;
+        return make(static_cast<PeId>(col),
+                    static_cast<Addr>(row) * elem_bytes + off_in_elem);
+    }
+
+    /** Convenience byte-granular local arithmetic. */
+    constexpr GlobalAddr
+    operator+(std::int64_t delta) const
+    {
+        return addLocal(delta);
+    }
+
+    constexpr GlobalAddr
+    operator-(std::int64_t delta) const
+    {
+        return addLocal(-delta);
+    }
+
+    constexpr auto operator<=>(const GlobalAddr &) const = default;
+
+    static constexpr unsigned peShift = 48;
+    static constexpr std::uint64_t localMask =
+        (std::uint64_t{1} << peShift) - 1;
+
+  private:
+    constexpr explicit GlobalAddr(std::uint64_t bits)
+        : _bits(bits)
+    {
+    }
+
+    std::uint64_t _bits = 0;
+};
+
+/** Typed global pointer. */
+template <typename T>
+class GlobalPtr
+{
+  public:
+    constexpr GlobalPtr() = default;
+    constexpr explicit GlobalPtr(GlobalAddr addr)
+        : _addr(addr)
+    {
+    }
+
+    static constexpr GlobalPtr
+    make(PeId pe, Addr local)
+    {
+        return GlobalPtr(GlobalAddr::make(pe, local));
+    }
+
+    constexpr GlobalAddr addr() const { return _addr; }
+    constexpr PeId pe() const { return _addr.pe(); }
+    constexpr Addr local() const { return _addr.local(); }
+    constexpr bool isNull() const { return _addr.isNull(); }
+
+    /** Local arithmetic in units of T. */
+    constexpr GlobalPtr
+    operator+(std::int64_t n) const
+    {
+        return GlobalPtr(
+            _addr.addLocal(n * static_cast<std::int64_t>(sizeof(T))));
+    }
+
+    constexpr GlobalPtr
+    operator-(std::int64_t n) const
+    {
+        return *this + (-n);
+    }
+
+    GlobalPtr &
+    operator+=(std::int64_t n)
+    {
+        *this = *this + n;
+        return *this;
+    }
+
+    /** Global (processor-fastest) arithmetic in units of T. */
+    constexpr GlobalPtr
+    addGlobal(std::int64_t n, std::uint32_t procs) const
+    {
+        return GlobalPtr(_addr.addGlobal(n, sizeof(T), procs));
+    }
+
+    constexpr auto operator<=>(const GlobalPtr &) const = default;
+
+  private:
+    GlobalAddr _addr;
+};
+
+} // namespace t3dsim::splitc
+
+#endif // T3DSIM_SPLITC_GLOBAL_PTR_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Spread arrays (§1.1/§3.1): arrays laid out across the global
+ * address space with the processor dimension varying fastest, as in
+ * Split-C's `double A[n]::`. Element i lives on PE (i mod procs) at
+ * row (i div procs).
+ *
+ * Allocation is symmetric: the same local offset on every node, so a
+ * single (base, element size) pair addresses the whole array.
+ */
+
+#ifndef T3DSIM_SPLITC_SPREAD_HH
+#define T3DSIM_SPLITC_SPREAD_HH
+
+#include <cstdint>
+
+#include "machine/machine.hh"
+#include "splitc/global_ptr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::splitc
+{
+
+/**
+ * Allocate @p bytes at the same local offset on every node of
+ * @p machine (untimed setup helper).
+ * @return The common local offset.
+ */
+inline Addr
+allocSymmetric(machine::Machine &machine, std::size_t bytes,
+               std::size_t align = 8)
+{
+    Addr base = 0;
+    for (PeId pe = 0; pe < machine.numPes(); ++pe) {
+        const Addr a = machine.node(pe).alloc(bytes, align);
+        if (pe == 0)
+            base = a;
+        else
+            T3D_ASSERT(a == base,
+                       "symmetric allocation diverged on PE ", pe,
+                       ": ", a, " != ", base);
+    }
+    return base;
+}
+
+/** A cyclically spread array of T. */
+template <typename T>
+class SpreadArray
+{
+  public:
+    SpreadArray() = default;
+
+    /**
+     * Allocate room for @p total elements spread over the machine
+     * (round-robin). Untimed setup.
+     */
+    static SpreadArray
+    allocate(machine::Machine &machine, std::uint64_t total)
+    {
+        const std::uint32_t procs = machine.numPes();
+        const std::uint64_t per_pe = (total + procs - 1) / procs;
+        SpreadArray arr;
+        arr._procs = procs;
+        arr._total = total;
+        arr._base =
+            allocSymmetric(machine, per_pe * sizeof(T), alignof(T));
+        return arr;
+    }
+
+    /** Global pointer to element @p i (processor-fastest layout). */
+    GlobalPtr<T>
+    at(std::uint64_t i) const
+    {
+        T3D_ASSERT(i < _total, "spread array index out of range: ", i);
+        const PeId pe = static_cast<PeId>(i % _procs);
+        const std::uint64_t row = i / _procs;
+        return GlobalPtr<T>::make(pe, _base + row * sizeof(T));
+    }
+
+    /** Local address of element @p i on its owning PE. */
+    Addr
+    localOf(std::uint64_t i) const
+    {
+        return _base + (i / _procs) * sizeof(T);
+    }
+
+    /** Owning PE of element @p i. */
+    PeId ownerOf(std::uint64_t i) const
+    {
+        return static_cast<PeId>(i % _procs);
+    }
+
+    std::uint64_t size() const { return _total; }
+    Addr base() const { return _base; }
+    std::uint32_t procs() const { return _procs; }
+
+  private:
+    Addr _base = 0;
+    std::uint64_t _total = 0;
+    std::uint32_t _procs = 1;
+};
+
+} // namespace t3dsim::splitc
+
+#endif // T3DSIM_SPLITC_SPREAD_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped data-holding cache, including the
+ * §3.4 synonym-indexing property: physical addresses differing only
+ * in the (high-order) annex bits map to the same cache line.
+ */
+
+#include <array>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "alpha/address.hh"
+#include "alpha/cache.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using alpha::DirectMappedCache;
+
+std::array<std::uint8_t, 32>
+patternLine(std::uint8_t seed)
+{
+    std::array<std::uint8_t, 32> line{};
+    for (std::size_t i = 0; i < line.size(); ++i)
+        line[i] = static_cast<std::uint8_t>(seed + i);
+    return line;
+}
+
+TEST(Cache, Geometry)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    EXPECT_EQ(c.numLines(), 256u);
+    EXPECT_EQ(c.lineBytes(), 32u);
+    EXPECT_EQ(c.sizeBytes(), 8 * KiB);
+}
+
+TEST(Cache, MissThenHit)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    EXPECT_FALSE(c.probe(0x100));
+    auto line = patternLine(7);
+    c.fill(0x100, line.data());
+    EXPECT_TRUE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x11f)) << "whole line present";
+    EXPECT_FALSE(c.probe(0x120)) << "next line absent";
+}
+
+TEST(Cache, ReadReturnsFilledData)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    auto line = patternLine(0x40);
+    c.fill(0x200, line.data());
+    std::uint64_t v = 0;
+    c.read(0x208, &v, 8);
+    std::uint64_t expect;
+    std::memcpy(&expect, line.data() + 8, 8);
+    EXPECT_EQ(v, expect);
+}
+
+TEST(Cache, ConflictEviction)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    auto line = patternLine(1);
+    c.fill(0x100, line.data());
+    c.fill(0x100 + 8 * KiB, line.data()); // same index, different tag
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x100 + 8 * KiB));
+}
+
+TEST(Cache, UpdateIfPresent)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    auto line = patternLine(0);
+    c.fill(0x300, line.data());
+    std::uint32_t v = 0xdeadbeef;
+    EXPECT_TRUE(c.updateIfPresent(0x304, &v, 4));
+    std::uint32_t out = 0;
+    c.read(0x304, &out, 4);
+    EXPECT_EQ(out, v);
+    // No write-allocate: absent line not created.
+    EXPECT_FALSE(c.updateIfPresent(0x400, &v, 4));
+    EXPECT_FALSE(c.probe(0x400));
+}
+
+TEST(Cache, InvalidateExactLineOnly)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    auto line = patternLine(9);
+    c.fill(0x500, line.data());
+    // Same index, different tag: must not invalidate.
+    c.invalidate(0x500 + 8 * KiB);
+    EXPECT_TRUE(c.probe(0x500));
+    c.invalidate(0x500);
+    EXPECT_FALSE(c.probe(0x500));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    auto line = patternLine(2);
+    c.fill(0x0, line.data());
+    c.fill(0x1000, line.data());
+    EXPECT_EQ(c.validLines(), 2u);
+    c.invalidateAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+/**
+ * §3.4: the annex index occupies the high bits of the physical
+ * address, so synonyms (same segment offset, different annex index)
+ * always map to the same cache line — with different tags, so they
+ * conflict rather than coexist. Caching is therefore synonym-safe.
+ */
+TEST(Cache, SynonymsShareIndexButConflict)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    const Addr offset = 0x1234 & ~Addr{31};
+    const Addr pa1 = alpha::makePa(1, offset);
+    const Addr pa2 = alpha::makePa(2, offset);
+
+    EXPECT_EQ(c.indexOf(pa1), c.indexOf(pa2));
+    EXPECT_NE(c.tagOf(pa1), c.tagOf(pa2));
+
+    auto line = patternLine(3);
+    c.fill(pa1, line.data());
+    EXPECT_TRUE(c.probe(pa1));
+    EXPECT_FALSE(c.probe(pa2)) << "synonym must not hit";
+
+    c.fill(pa2, line.data());
+    EXPECT_FALSE(c.probe(pa1)) << "synonyms conflict, never coexist";
+    EXPECT_TRUE(c.probe(pa2));
+}
+
+TEST(Cache, L2Geometry)
+{
+    DirectMappedCache l2(512 * KiB, 32);
+    EXPECT_EQ(l2.numLines(), 16384u);
+}
+
+TEST(Cache, RejectsNonPowerOfTwo)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(DirectMappedCache(3000, 32), std::logic_error);
+    EXPECT_THROW(DirectMappedCache(8 * KiB, 24), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the TLB model: miss/hit behavior, LRU replacement,
+ * and the two configurations that differentiate Figure 1's machines
+ * (huge pages on the T3D, 8 KB pages on the workstation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "alpha/tlb.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using alpha::Tlb;
+
+TEST(Tlb, FirstAccessMisses)
+{
+    Tlb tlb({4, 8 * KiB, 35});
+    EXPECT_EQ(tlb.access(0), 35u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, SamePageHits)
+{
+    Tlb tlb({4, 8 * KiB, 35});
+    tlb.access(0);
+    EXPECT_EQ(tlb.access(8 * KiB - 8), 0u);
+    EXPECT_EQ(tlb.access(100), 0u);
+    EXPECT_EQ(tlb.hits(), 2u);
+}
+
+TEST(Tlb, DifferentPageMisses)
+{
+    Tlb tlb({4, 8 * KiB, 35});
+    tlb.access(0);
+    EXPECT_EQ(tlb.access(8 * KiB), 35u);
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb({2, 8 * KiB, 35});
+    tlb.access(0 * 8 * KiB);  // A
+    tlb.access(1 * 8 * KiB);  // B
+    tlb.access(0 * 8 * KiB);  // touch A: B becomes LRU
+    tlb.access(2 * 8 * KiB);  // C evicts B
+    EXPECT_EQ(tlb.access(0 * 8 * KiB), 0u) << "A survived";
+    EXPECT_EQ(tlb.access(1 * 8 * KiB), 35u) << "B was evicted";
+}
+
+TEST(Tlb, CapacityCoversWorkingSet)
+{
+    Tlb tlb({32, 8 * KiB, 35});
+    // 32 pages: exactly covered.
+    for (int round = 0; round < 3; ++round) {
+        for (Addr p = 0; p < 32; ++p)
+            tlb.access(p * 8 * KiB);
+    }
+    EXPECT_EQ(tlb.misses(), 32u) << "only cold misses";
+}
+
+TEST(Tlb, ThrashingBeyondCapacity)
+{
+    Tlb tlb({32, 8 * KiB, 35});
+    // 64 pages round-robin with LRU: every access misses after warmup.
+    for (int round = 0; round < 2; ++round) {
+        for (Addr p = 0; p < 64; ++p)
+            tlb.access(p * 8 * KiB);
+    }
+    EXPECT_EQ(tlb.misses(), 128u);
+}
+
+TEST(Tlb, HugePagesNeverThrash)
+{
+    // The T3D configuration: 32 entries of 4 MB cover 128 MB — the
+    // whole node memory, hence no TLB inflection in Figure 1 (§2.2).
+    Tlb tlb({32, 4 * MiB, 35});
+    for (Addr a = 0; a < 128 * MiB; a += 16 * KiB)
+        tlb.access(a);
+    EXPECT_EQ(tlb.misses(), 32u) << "one cold miss per huge page";
+    // Second sweep: all hits.
+    for (Addr a = 0; a < 128 * MiB; a += 16 * KiB)
+        EXPECT_EQ(tlb.access(a), 0u);
+}
+
+TEST(Tlb, FlushForgets)
+{
+    Tlb tlb({4, 8 * KiB, 35});
+    tlb.access(0);
+    tlb.flush();
+    EXPECT_FALSE(tlb.contains(0));
+    EXPECT_EQ(tlb.access(0), 35u);
+}
+
+TEST(Tlb, Contains)
+{
+    Tlb tlb({4, 8 * KiB, 35});
+    EXPECT_FALSE(tlb.contains(0));
+    tlb.access(0);
+    EXPECT_TRUE(tlb.contains(4096));
+}
+
+} // namespace

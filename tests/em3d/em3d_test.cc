@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the EM3D application (§8): graph construction invariants,
+ * identical numerical results across all six versions, the 0.37
+ * us/edge all-local target, and the Figure 9 performance ordering.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "em3d/em3d.hh"
+#include "machine/machine.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using em3d::Config;
+using em3d::Graph;
+using em3d::Version;
+
+Config
+smallConfig(double remote)
+{
+    Config cfg;
+    cfg.nodesPerPe = 40;
+    cfg.degree = 5;
+    cfg.remoteFraction = remote;
+    cfg.iterations = 1;
+    return cfg;
+}
+
+TEST(Em3dGraph, EdgeCounts)
+{
+    machine::Machine m(machine::MachineConfig::t3d(4));
+    Graph g = Graph::build(m, smallConfig(0.3));
+    for (PeId pe = 0; pe < 4; ++pe) {
+        EXPECT_EQ(g.perPe[pe].e.edges.size(), 40u * 5u);
+    }
+    // Transpose preserves the total edge count.
+    std::size_t h_total = 0;
+    for (PeId pe = 0; pe < 4; ++pe)
+        h_total += g.perPe[pe].h.edges.size();
+    EXPECT_EQ(h_total, 4u * 40u * 5u);
+    EXPECT_EQ(g.edgesPerPe(), 2u * 40u * 5u);
+}
+
+TEST(Em3dGraph, ZeroRemoteFractionHasNoFetches)
+{
+    machine::Machine m(machine::MachineConfig::t3d(4));
+    Graph g = Graph::build(m, smallConfig(0.0));
+    for (PeId pe = 0; pe < 4; ++pe) {
+        EXPECT_TRUE(g.perPe[pe].e.fetches.empty());
+        EXPECT_TRUE(g.perPe[pe].h.fetches.empty());
+    }
+}
+
+TEST(Em3dGraph, GhostSlotsAreGroupedByProducer)
+{
+    machine::Machine m(machine::MachineConfig::t3d(4));
+    Graph g = Graph::build(m, smallConfig(0.6));
+    for (PeId pe = 0; pe < 4; ++pe) {
+        const auto &side = g.perPe[pe].e;
+        std::uint32_t expected_slot = 0;
+        for (const auto &group : side.groups) {
+            EXPECT_EQ(group.firstSlot, expected_slot);
+            expected_slot += group.srcIdxs.size();
+            EXPECT_NE(group.srcPe, pe);
+        }
+        EXPECT_EQ(expected_slot, side.ghostCount);
+    }
+}
+
+TEST(Em3dGraph, PushesMirrorFetches)
+{
+    machine::Machine m(machine::MachineConfig::t3d(4));
+    Graph g = Graph::build(m, smallConfig(0.5));
+    // Total pushes of H values == total E-side fetches.
+    std::size_t fetches = 0, pushes = 0;
+    for (PeId pe = 0; pe < 4; ++pe) {
+        fetches += g.perPe[pe].e.fetches.size();
+        pushes += g.perPe[pe].e.pushes.size();
+    }
+    EXPECT_EQ(fetches, pushes);
+}
+
+TEST(Em3dGraph, DeterministicForSeed)
+{
+    machine::Machine m1(machine::MachineConfig::t3d(4));
+    machine::Machine m2(machine::MachineConfig::t3d(4));
+    Graph a = Graph::build(m1, smallConfig(0.4));
+    Graph b = Graph::build(m2, smallConfig(0.4));
+    ASSERT_EQ(a.perPe[1].e.edges.size(), b.perPe[1].e.edges.size());
+    for (std::size_t i = 0; i < a.perPe[1].e.edges.size(); ++i) {
+        EXPECT_EQ(a.perPe[1].e.edges[i].srcPe,
+                  b.perPe[1].e.edges[i].srcPe);
+        EXPECT_EQ(a.perPe[1].e.edges[i].srcIdx,
+                  b.perPe[1].e.edges[i].srcIdx);
+    }
+}
+
+TEST(Em3dRun, AllVersionsProduceIdenticalResults)
+{
+    const Config cfg = smallConfig(0.4);
+    double reference = 0;
+    bool first = true;
+    for (Version v : em3d::allVersions) {
+        auto result = em3d::run(cfg, v, 4);
+        ASSERT_TRUE(std::isfinite(result.checksum));
+        if (first) {
+            reference = result.checksum;
+            first = false;
+            EXPECT_NE(reference, 0.0);
+        } else {
+            EXPECT_DOUBLE_EQ(result.checksum, reference)
+                << em3d::versionName(v);
+        }
+    }
+}
+
+TEST(Em3dRun, MultipleIterationsStayConsistent)
+{
+    Config cfg = smallConfig(0.3);
+    cfg.iterations = 3;
+    const auto simple = em3d::run(cfg, Version::Simple, 4);
+    const auto bulk = em3d::run(cfg, Version::Bulk, 4);
+    EXPECT_DOUBLE_EQ(simple.checksum, bulk.checksum);
+}
+
+TEST(Em3dRun, AllLocalOptimizedNear037usPerEdge)
+{
+    // §8: "we reduce the cost of processing an edge to 0.37 usec
+    // when all the edges are local" (5.5 MFlops per processor).
+    Config cfg;
+    cfg.nodesPerPe = 200;
+    cfg.degree = 10;
+    cfg.remoteFraction = 0.0;
+    const auto result = em3d::run(cfg, Version::Bulk, 4);
+    EXPECT_NEAR(result.usPerEdge, 0.37, 0.06);
+}
+
+TEST(Em3dRun, Figure9OrderingAtHighRemoteFraction)
+{
+    Config cfg;
+    cfg.nodesPerPe = 100;
+    cfg.degree = 8;
+    cfg.remoteFraction = 0.6;
+    double us[6];
+    int i = 0;
+    for (Version v : em3d::allVersions)
+        us[i++] = em3d::run(cfg, v, 8).usPerEdge;
+
+    const double simple = us[0], bundle = us[1], unroll = us[2],
+        get = us[3], put = us[4], bulk = us[5];
+
+    EXPECT_GT(simple, bundle) << "ghost caching wins";
+    EXPECT_GT(bundle, unroll) << "unrolled compute wins";
+    EXPECT_GT(unroll, get) << "pipelined gets win";
+    EXPECT_GT(get, put) << "puts have less overhead than gets";
+    EXPECT_GT(put, bulk) << "bulk avoids repeated annex set-up";
+}
+
+TEST(Em3dRun, RemoteFractionScalesCost)
+{
+    Config cfg;
+    cfg.nodesPerPe = 100;
+    cfg.degree = 8;
+    double prev = 0;
+    for (double remote : {0.0, 0.3, 0.9}) {
+        cfg.remoteFraction = remote;
+        const auto result = em3d::run(cfg, Version::Simple, 8);
+        EXPECT_GT(result.usPerEdge, prev);
+        prev = result.usPerEdge;
+    }
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Network distance effects: §4.2 measures "roughly a 13 to 20 ns
+ * (2-3 cycle) cost per hop" of additional read latency. The model's
+ * torus transit must show exactly that, and the machine factory must
+ * wire arbitrary PE counts consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alpha/address.hh"
+#include "machine/machine.hh"
+#include "shell/annex.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using shell::ReadMode;
+
+/** Warm read latency from PE0 to @p dst on machine @p m. */
+Cycles
+readLatency(Machine &m, PeId dst)
+{
+    auto &n0 = m.node(0);
+    n0.shell().setAnnex(1, {dst, ReadMode::Uncached});
+    const Addr va = alpha::makeAnnexedVa(1, 0x1000);
+    n0.loadU64(va); // warm remote page + TLB
+    const Cycles t0 = n0.clock().now();
+    n0.loadU64(va + 8);
+    return n0.clock().now() - t0;
+}
+
+TEST(Hops, LatencyGrowsPerHop)
+{
+    // 8x1x1 ring: distances 1..4 from PE0.
+    MachineConfig cfg = MachineConfig::t3d(8);
+    Machine m(cfg);
+    ASSERT_EQ(m.torus().dimZ() * m.torus().dimY() * m.torus().dimX(),
+              8u);
+
+    // Use PEs at increasing hop distance.
+    std::vector<std::pair<PeId, std::uint32_t>> targets;
+    for (PeId pe = 1; pe < 8; ++pe)
+        targets.emplace_back(pe, m.torus().hops(0, pe));
+
+    for (auto [pe, hops] : targets) {
+        const Cycles lat = readLatency(m, pe);
+        const Cycles adjacent = 91;
+        // Each extra hop adds 2 cycles each way.
+        EXPECT_EQ(lat, adjacent + (hops - 1) * 2 * cfg.hopCycles)
+            << "pe=" << pe << " hops=" << hops;
+    }
+}
+
+TEST(Hops, PerHopCostMatchesPaper)
+{
+    Machine m(MachineConfig::t3d(64)); // 4x4x4
+    std::uint32_t max_hops = 0;
+    PeId far_pe = 0;
+    for (PeId pe = 1; pe < 64; ++pe) {
+        if (m.torus().hops(0, pe) > max_hops) {
+            max_hops = m.torus().hops(0, pe);
+            far_pe = pe;
+        }
+    }
+    ASSERT_EQ(max_hops, 6u) << "4x4x4 torus diameter";
+
+    const Cycles near = readLatency(m, 1);
+    const Cycles far = readLatency(m, far_pe);
+    const double per_hop_ns =
+        cyclesToNs(far - near) / (2.0 * (max_hops - 1));
+    EXPECT_GE(per_hop_ns, 13.0);
+    EXPECT_LE(per_hop_ns, 20.0) << "§4.2: 13-20 ns per hop";
+}
+
+/** Property: the machine works at many PE counts. */
+class MachineSizes : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MachineSizes, RemoteRoundTripWorks)
+{
+    const std::uint32_t pes = GetParam();
+    Machine m(MachineConfig::t3d(pes));
+    auto &n0 = m.node(0);
+    const PeId dst = pes - 1;
+    if (dst == 0)
+        GTEST_SKIP() << "single PE has no remote";
+
+    m.node(dst).storage().writeU64(0x2000, 1234);
+    n0.shell().setAnnex(1, {dst, ReadMode::Uncached});
+    EXPECT_EQ(n0.loadU64(alpha::makeAnnexedVa(1, 0x2000)), 1234u);
+
+    n0.storeU64(alpha::makeAnnexedVa(1, 0x2008), 77);
+    n0.waitRemoteWrites();
+    EXPECT_EQ(m.node(dst).storage().readU64(0x2008), 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, MachineSizes,
+                         ::testing::Values(2, 3, 5, 8, 16, 32, 64,
+                                           128));
+
+TEST(Hops, UpTo2048Pes)
+{
+    // The T3D scales to 2,048 nodes (§1.2); the model must too.
+    Machine m(MachineConfig::t3d(2048));
+    EXPECT_EQ(m.numPes(), 2048u);
+    EXPECT_GE(m.torus().hops(0, 1024), 1u);
+}
+
+} // namespace

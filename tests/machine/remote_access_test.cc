@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Integration tests of the remote read/write paths against the §4
+ * measurements: uncached read ~91 cycles, cached read ~114 cycles,
+ * blocking write ~130 cycles, non-blocking write throughput ~17
+ * cycles, cached-read incoherence, remote-write cache invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alpha/address.hh"
+#include "machine/machine.hh"
+#include "shell/annex.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using shell::AnnexEntry;
+using shell::ReadMode;
+
+struct RemoteAccessTest : ::testing::Test
+{
+    Machine m{MachineConfig::t3d(8)};
+    machine::Node &n0 = m.node(0);
+    machine::Node &n1 = m.node(1);
+
+    /** Annexed VA on node 0 reaching node 1 via annex register 1. */
+    Addr
+    remoteVa(Addr offset, ReadMode mode = ReadMode::Uncached)
+    {
+        n0.shell().setAnnex(1, {1, mode});
+        return alpha::makeAnnexedVa(1, offset);
+    }
+};
+
+TEST_F(RemoteAccessTest, UncachedReadLatencyNear91Cycles)
+{
+    n1.storage().writeU64(0x1000, 0xbeef);
+    const Addr va = remoteVa(0x1000);
+    // Warm the remote DRAM page.
+    n0.loadU64(va);
+    const Cycles t0 = n0.clock().now();
+    EXPECT_EQ(n0.loadU64(va), 0xbeefu);
+    const Cycles latency = n0.clock().now() - t0;
+    EXPECT_NEAR(static_cast<double>(latency), 91.0, 6.0);
+    // ~610 ns (§4.2).
+    EXPECT_NEAR(cyclesToNs(latency), 610.0, 40.0);
+}
+
+TEST_F(RemoteAccessTest, UncachedReadDoesNotTouchCache)
+{
+    n1.storage().writeU64(0x1000, 1);
+    const Addr va = remoteVa(0x1000);
+    n0.loadU64(va);
+    EXPECT_FALSE(n0.dcache().probe(alpha::paOfVa(va)));
+}
+
+TEST_F(RemoteAccessTest, CachedReadLatencyNear114Cycles)
+{
+    n1.storage().writeU64(0x2000, 7);
+    const Addr va = remoteVa(0x2000, ReadMode::Cached);
+    n0.loadU64(va); // warm remote page
+    n0.dcache().invalidate(alpha::paOfVa(va));
+    const Cycles t0 = n0.clock().now();
+    EXPECT_EQ(n0.loadU64(va), 7u);
+    EXPECT_NEAR(static_cast<double>(n0.clock().now() - t0), 114.0, 8.0);
+}
+
+TEST_F(RemoteAccessTest, CachedReadFillsLineAndHitsLocally)
+{
+    n1.storage().writeU64(0x2000, 7);
+    n1.storage().writeU64(0x2008, 8);
+    const Addr va = remoteVa(0x2000, ReadMode::Cached);
+    n0.loadU64(va);
+    EXPECT_TRUE(n0.dcache().probe(alpha::paOfVa(va)));
+    // The adjacent word now hits the local cache: ~1 cycle.
+    const Cycles t0 = n0.clock().now();
+    EXPECT_EQ(n0.loadU64(va + 8), 8u);
+    EXPECT_LE(n0.clock().now() - t0, 2u);
+}
+
+TEST_F(RemoteAccessTest, CachedReadsAreIncoherent)
+{
+    // §4.4: if the owner updates the line, remote cached copies go
+    // stale — there is no hardware coherence.
+    n1.storage().writeU64(0x2000, 1);
+    const Addr va = remoteVa(0x2000, ReadMode::Cached);
+    EXPECT_EQ(n0.loadU64(va), 1u);
+
+    // Owner updates its memory (write-through + drain).
+    n1.core().storeU64(0x2000, 99);
+    n1.core().mb();
+    EXPECT_EQ(n1.storage().readU64(0x2000), 99u);
+
+    // Reader still sees the stale cached copy.
+    EXPECT_EQ(n0.loadU64(va), 1u) << "stale value expected";
+
+    // After an explicit flush the fresh value is fetched.
+    n0.core().flushLine(va);
+    EXPECT_EQ(n0.loadU64(va), 99u);
+}
+
+TEST_F(RemoteAccessTest, RemoteWriteMovesData)
+{
+    const Addr va = remoteVa(0x3000);
+    n0.storeU64(va, 0x1234);
+    n0.waitRemoteWrites();
+    EXPECT_EQ(n1.storage().readU64(0x3000), 0x1234u);
+}
+
+TEST_F(RemoteAccessTest, BlockingWriteLatencyNear130Cycles)
+{
+    const Addr va = remoteVa(0x3000);
+    // Warm the remote page.
+    n0.storeU64(va, 1);
+    n0.waitRemoteWrites();
+    const Cycles t0 = n0.clock().now();
+    n0.storeU64(va + 64, 2);
+    n0.waitRemoteWrites();
+    const Cycles latency = n0.clock().now() - t0;
+    EXPECT_NEAR(static_cast<double>(latency), 130.0, 15.0);
+    EXPECT_NEAR(cyclesToNs(latency), 850.0, 100.0);
+}
+
+TEST_F(RemoteAccessTest, NonBlockingWriteThroughputNear17Cycles)
+{
+    // §5.3: line-distinct remote stores sustain ~115 ns (17 cycles).
+    const Addr va = remoteVa(0x10000);
+    for (int i = 0; i < 32; ++i) // warm up
+        n0.storeU64(va + 32 * i, i);
+    const Cycles t0 = n0.clock().now();
+    const int n = 128;
+    for (int i = 0; i < n; ++i)
+        n0.storeU64(va + 0x1000 + 32 * i, i);
+    const double per_write =
+        double(n0.clock().now() - t0) / n;
+    EXPECT_NEAR(per_write, 17.0, 3.0);
+    n0.waitRemoteWrites();
+}
+
+TEST_F(RemoteAccessTest, StatusBitRequiresMbFirst)
+{
+    // §4.3: the status bit is CLEAR while the write still sits in
+    // the write buffer, so polling without MB returns too early.
+    const Addr va = remoteVa(0x4000);
+    n0.storeU64(va, 42);
+    EXPECT_FALSE(
+        n0.shell().remote().writesOutstanding(n0.clock().now()))
+        << "write still in WB: status bit misleadingly clear";
+    n0.mb();
+    EXPECT_TRUE(
+        n0.shell().remote().writesOutstanding(n0.clock().now()))
+        << "after MB the write has left the processor";
+    n0.waitRemoteWrites();
+    EXPECT_FALSE(
+        n0.shell().remote().writesOutstanding(n0.clock().now()));
+}
+
+TEST_F(RemoteAccessTest, RemoteWriteInvalidatesOwnerCache)
+{
+    // §4.4 cache-invalidate mode: the owner's cached copy of the
+    // target line is flushed when a remote write arrives.
+    n1.storage().writeU64(0x5000, 1);
+    n1.core().loadU64(0x5000);
+    EXPECT_TRUE(n1.dcache().probe(0x5000));
+
+    const Addr va = remoteVa(0x5000);
+    n0.storeU64(va, 2);
+    n0.waitRemoteWrites();
+    EXPECT_FALSE(n1.dcache().probe(0x5000));
+    EXPECT_EQ(n1.core().loadU64(0x5000), 2u);
+}
+
+TEST_F(RemoteAccessTest, RemoteOffPageReadsCostMore)
+{
+    const Addr va = remoteVa(0x0);
+    // Warm-up then measure at 64 KB stride (same remote bank).
+    Cycles prev = 0;
+    double in_page = 0, off_page = 0;
+    n0.loadU64(va);
+    prev = n0.clock().now();
+    n0.loadU64(va + 8);
+    in_page = double(n0.clock().now() - prev);
+    prev = n0.clock().now();
+    n0.loadU64(va + 64 * KiB);
+    off_page = double(n0.clock().now() - prev);
+    EXPECT_GT(off_page, in_page + 10.0)
+        << "§4.2: off-page remote reads cost ~15 extra cycles";
+}
+
+TEST_F(RemoteAccessTest, SwapExchangesValues)
+{
+    n1.storage().writeU64(0x6000, 111);
+    n0.shell().setAnnex(1, {1, ReadMode::Swap});
+    const Addr va = alpha::makeAnnexedVa(1, 0x6000);
+    EXPECT_EQ(n0.swap(va, 222), 111u);
+    EXPECT_EQ(n1.storage().readU64(0x6000), 222u);
+}
+
+TEST_F(RemoteAccessTest, FetchIncIsAboutOneMicrosecond)
+{
+    const Cycles t0 = n0.clock().now();
+    EXPECT_EQ(n0.shell().remote().fetchInc(1, 0), 0u);
+    EXPECT_EQ(n0.shell().remote().fetchInc(1, 0), 1u);
+    const double us = cyclesToUs(n0.clock().now() - t0) / 2.0;
+    EXPECT_NEAR(us, 1.0, 0.15) << "§7.4: ~1 us per fetch&increment";
+}
+
+TEST_F(RemoteAccessTest, AnnexUpdateCosts23Cycles)
+{
+    const Cycles t0 = n0.clock().now();
+    n0.shell().setAnnex(2, {3, ReadMode::Uncached});
+    EXPECT_EQ(n0.clock().now() - t0, 23u);
+}
+
+} // namespace

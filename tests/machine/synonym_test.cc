@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The §3.4 physical-synonym probes. Two annex registers naming the
+ * same (local) PE create two physical addresses for one location:
+ *
+ *  - the data cache is safe: synonyms share a cache index and
+ *    conflict rather than coexist;
+ *  - the write buffer is NOT safe: a read through one synonym
+ *    bypasses a pending write through the other ("We have produced
+ *    probes that exhibit this unpleasant phenomenon").
+ */
+
+#include <gtest/gtest.h>
+
+#include "alpha/address.hh"
+#include "machine/machine.hh"
+#include "shell/annex.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using shell::ReadMode;
+
+struct SynonymTest : ::testing::Test
+{
+    Machine m{MachineConfig::t3d(4)};
+    machine::Node &n0 = m.node(0);
+
+    void
+    SetUp() override
+    {
+        // Two annex registers naming the local processor.
+        n0.shell().setAnnex(1, {0, ReadMode::Uncached});
+        n0.shell().setAnnex(2, {0, ReadMode::Uncached});
+        ASSERT_TRUE(n0.shell().annex().hasSynonyms());
+    }
+};
+
+TEST_F(SynonymTest, WriteBufferAdmitsStaleSynonymRead)
+{
+    const Addr offset = 0x8000;
+    n0.storage().writeU64(offset, 0xaaaa); // the "old" value
+
+    const Addr via1 = alpha::makeAnnexedVa(1, offset);
+    const Addr via2 = alpha::makeAnnexedVa(2, offset);
+
+    // Write through synonym 1: lands in the write buffer.
+    n0.storeU64(via1, 0xbbbb);
+
+    // Immediately read through synonym 2: different physical
+    // address, so the write buffer match fails and the read goes to
+    // memory — returning the STALE value.
+    EXPECT_EQ(n0.loadU64(via2), 0xaaaau)
+        << "the paper's unpleasant phenomenon";
+
+    // The same-synonym read would have seen the new value (the probe
+    // control case): after MB everything is consistent again.
+    n0.mb();
+    n0.dcache().invalidate(alpha::paOfVa(via2));
+    EXPECT_EQ(n0.loadU64(via2), 0xbbbbu);
+}
+
+TEST_F(SynonymTest, SameSynonymReadSeesPendingWrite)
+{
+    const Addr offset = 0x9000;
+    n0.storage().writeU64(offset, 1);
+    const Addr via1 = alpha::makeAnnexedVa(1, offset);
+
+    n0.storeU64(via1, 2);
+    EXPECT_EQ(n0.loadU64(via1), 2u)
+        << "same physical address: WB/cache sees the write";
+}
+
+TEST_F(SynonymTest, CacheSynonymsConflictRatherThanAlias)
+{
+    // §3.4: "two synonyms always map onto the same cache line", so
+    // cached copies can never be mutually inconsistent.
+    const Addr offset = 0xa000;
+    n0.storage().writeU64(offset, 5);
+
+    const Addr via1 = alpha::makeAnnexedVa(1, offset);
+    const Addr via2 = alpha::makeAnnexedVa(2, offset);
+
+    n0.loadU64(via1); // cache under PA(1, offset)
+    EXPECT_TRUE(n0.dcache().probe(alpha::paOfVa(via1)));
+
+    n0.loadU64(via2); // evicts the first synonym (same index)
+    EXPECT_TRUE(n0.dcache().probe(alpha::paOfVa(via2)));
+    EXPECT_FALSE(n0.dcache().probe(alpha::paOfVa(via1)))
+        << "synonyms never coexist in a direct-mapped cache";
+}
+
+TEST_F(SynonymTest, SynonymWritesLandOnSameLocation)
+{
+    const Addr offset = 0xb000;
+    const Addr via1 = alpha::makeAnnexedVa(1, offset);
+    const Addr via2 = alpha::makeAnnexedVa(2, offset + 8);
+
+    n0.storeU64(via1, 10);
+    n0.storeU64(via2, 20);
+    n0.mb();
+    EXPECT_EQ(n0.storage().readU64(offset), 10u);
+    EXPECT_EQ(n0.storage().readU64(offset + 8), 20u);
+}
+
+TEST_F(SynonymTest, HazardVanishesAfterDrain)
+{
+    const Addr offset = 0xc000;
+    n0.storage().writeU64(offset, 1);
+    const Addr via1 = alpha::makeAnnexedVa(1, offset);
+    const Addr via2 = alpha::makeAnnexedVa(2, offset);
+
+    n0.storeU64(via1, 2);
+    n0.mb(); // drain: the write reaches memory
+    EXPECT_EQ(n0.loadU64(via2), 2u)
+        << "after the buffer drains, synonyms agree";
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the DEC Alpha workstation model against Figure 1 (right):
+ * three latency bands (L1 / 512 KB L2 / ~300 ns memory) and the TLB
+ * inflection at 8 KB stride.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/workstation.hh"
+#include "probes/stride.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Workstation;
+
+TEST(Workstation, L1HitIsOneCycle)
+{
+    Workstation ws;
+    ws.storage().writeU64(0x1000, 1);
+    ws.loadU64(0x1000);
+    const Cycles t0 = ws.clock().now();
+    ws.loadU64(0x1000);
+    EXPECT_EQ(ws.clock().now() - t0, 1u);
+}
+
+TEST(Workstation, L2HitBand)
+{
+    Workstation ws;
+    ws.storage().writeU64(0x1000, 1);
+    ws.loadU64(0x1000);            // fills L1 + L2
+    ws.l1().invalidate(0x1000);    // force L1 miss, L2 hit
+    const Cycles t0 = ws.clock().now();
+    ws.loadU64(0x1000);
+    EXPECT_EQ(ws.clock().now() - t0, 9u) << "board-cache latency";
+}
+
+TEST(Workstation, MemoryAccessNear300ns)
+{
+    Workstation ws;
+    // Two consecutive lines: second access opens page already.
+    ws.loadU64(0x100000);
+    const Cycles t0 = ws.clock().now();
+    ws.loadU64(0x100040); // different line, same DRAM page, TLB hit
+    EXPECT_NEAR(cyclesToNs(ws.clock().now() - t0), 300.0, 10.0);
+}
+
+TEST(Workstation, Figure1RightProfile)
+{
+    Workstation ws;
+    auto points = probes::strideProbe(
+        [&](Addr a) { ws.loadU64(a); },
+        [&] { return ws.clock().now(); },
+        0, 4 * KiB, 2 * MiB);
+
+    // Band 1: fits in L1.
+    auto *p = probes::findPoint(points, 8 * KiB, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p->avgCyclesPerOp, 1.0, 0.1);
+
+    // Band 2: fits in 512 KB L2; line stride -> every L1 miss, L2 hit.
+    p = probes::findPoint(points, 256 * KiB, 32);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p->avgCyclesPerOp, 9.0, 1.0);
+
+    // Band 3: exceeds L2 -> memory latency (~45 cycles).
+    p = probes::findPoint(points, 2 * MiB, 32);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GT(p->avgCyclesPerOp, 40.0);
+
+    // TLB inflection: at 8 KB stride a 2 MB array touches 256 pages
+    // against 32 TLB entries -> every access adds the full miss
+    // penalty, against 1/8th of it at 1 KB stride.
+    auto *below = probes::findPoint(points, 2 * MiB, 1 * KiB);
+    auto *at = probes::findPoint(points, 2 * MiB, 8 * KiB);
+    ASSERT_NE(below, nullptr);
+    ASSERT_NE(at, nullptr);
+    EXPECT_GT(at->avgCyclesPerOp, below->avgCyclesPerOp + 20.0)
+        << "§2.2: inflection at the 8 KB page size";
+}
+
+TEST(Workstation, StreamBandwidthAboutHalfOfT3d)
+{
+    // §2.2: the T3D can stream ~220 MB/s from memory, the
+    // workstation about half that. Stream = line-stride read sweep.
+    Workstation ws;
+    const std::size_t bytes = 1 * MiB;
+    // Warm-up (TLB) then measure.
+    for (Addr a = 0; a < bytes; a += 32)
+        ws.loadU64(a);
+    const Cycles t0 = ws.clock().now();
+    for (Addr a = 0; a < bytes; a += 32)
+        ws.loadU64(a);
+    const double secs = cyclesToNs(ws.clock().now() - t0) * 1e-9;
+    const double mbps = (bytes / 1e6) / secs;
+    EXPECT_GT(mbps, 80.0);
+    EXPECT_LT(mbps, 140.0);
+}
+
+TEST(Workstation, WriteBufferStillMerges)
+{
+    // Merged (stride-8) stores must be distinctly cheaper than
+    // line-distinct (stride-32) stores against the slower memory.
+    Workstation ws;
+    Cycles merged = 0, distinct = 0;
+    for (int i = 0; i < 64; ++i) {
+        const Cycles t0 = ws.clock().now();
+        ws.storeU64(Addr(0x10000) + 8 * i, i);
+        merged += ws.clock().now() - t0;
+    }
+    ws.mb();
+    for (int i = 0; i < 64; ++i) {
+        const Cycles t0 = ws.clock().now();
+        ws.storeU64(Addr(0x40000) + 32 * i, i);
+        distinct += ws.clock().now() - t0;
+    }
+    EXPECT_LT(double(merged) * 1.3, double(distinct));
+}
+
+} // namespace

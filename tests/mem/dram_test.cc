@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the page-mode DRAM timing model against the §2.2
+ * numbers: 22-cycle in-page access, +9 off-page, +9 more same-bank
+ * (40-cycle / 264 ns worst case), 16 KB pages, 4 banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using t3dsim::Cycles;
+using t3dsim::KiB;
+using t3dsim::mem::DramConfig;
+using t3dsim::mem::DramController;
+
+TEST(Dram, BankAndRowMapping)
+{
+    DramController dram;
+    // Banks interleave at 16 KB granularity.
+    EXPECT_EQ(dram.bankOf(0), 0u);
+    EXPECT_EQ(dram.bankOf(16 * KiB), 1u);
+    EXPECT_EQ(dram.bankOf(32 * KiB), 2u);
+    EXPECT_EQ(dram.bankOf(48 * KiB), 3u);
+    EXPECT_EQ(dram.bankOf(64 * KiB), 0u);
+    // Rows advance every 64 KB.
+    EXPECT_EQ(dram.rowOf(0), 0u);
+    EXPECT_EQ(dram.rowOf(64 * KiB - 1), 0u);
+    EXPECT_EQ(dram.rowOf(64 * KiB), 1u);
+}
+
+TEST(Dram, FirstAccessIsOffPage)
+{
+    DramController dram;
+    auto a = dram.access(0, 0);
+    EXPECT_TRUE(a.offPage);
+    EXPECT_EQ(a.latency, 22u + 9u);
+}
+
+TEST(Dram, InPageAccessIs22Cycles)
+{
+    DramController dram;
+    dram.access(0, 0); // opens the row
+    auto a = dram.access(1000, 64);
+    EXPECT_FALSE(a.offPage);
+    EXPECT_EQ(a.latency, 22u);
+}
+
+TEST(Dram, SixteenKStrideRotatesBanksOffPage)
+{
+    DramController dram;
+    // Open rows in all four banks first (row 0 everywhere).
+    for (int b = 0; b < 4; ++b)
+        dram.access(Cycles{1000} * b, Cycles{16} * KiB * b);
+    // Continue the 16 KB stride: each access returns to a bank whose
+    // open row no longer matches -> off-page but different bank.
+    Cycles t = 100000;
+    auto a = dram.access(t, 64 * KiB); // bank 0, row 1
+    EXPECT_TRUE(a.offPage);
+    EXPECT_EQ(a.latency, 31u); // 22 + 9, no same-bank penalty
+}
+
+TEST(Dram, SameBankOffPageIsFullMemoryCycle)
+{
+    DramController dram;
+    dram.access(0, 0);                         // bank 0, row 0
+    auto a = dram.access(100000, 64 * KiB);    // bank 0, row 1
+    EXPECT_TRUE(a.offPage);
+    EXPECT_EQ(a.latency, 40u); // 22 + 9 + 9 = 264 ns worst case
+}
+
+TEST(Dram, BankBusyDelaysBackToBack)
+{
+    DramController dram;
+    dram.access(0, 0); // off-page, holds bank until completion (31)
+    auto a = dram.access(0, 64 * KiB); // same bank, requested at t=0
+    EXPECT_EQ(a.start, 31u) << "must wait for the bank";
+    EXPECT_EQ(a.complete, 31u + 40u);
+}
+
+TEST(Dram, PipelinedInPageAccesses)
+{
+    DramConfig cfg;
+    DramController dram(cfg);
+    dram.access(0, 0); // open row
+    // In-page accesses occupy the bank only ~5 cycles: issued
+    // back-to-back, they start 5 cycles apart.
+    auto a1 = dram.access(100, 8);
+    auto a2 = dram.access(100, 16);
+    auto a3 = dram.access(100, 24);
+    EXPECT_EQ(a2.start - a1.start, cfg.pipelinedBusyCycles);
+    EXPECT_EQ(a3.start - a2.start, cfg.pipelinedBusyCycles);
+}
+
+TEST(Dram, ResetForgetsRows)
+{
+    DramController dram;
+    dram.access(0, 0);
+    dram.reset();
+    auto a = dram.access(1000, 64);
+    EXPECT_TRUE(a.offPage);
+}
+
+/** Property sweep: latency is always one of the three §2.2 levels. */
+class DramLatencyLevels : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DramLatencyLevels, OnlyThreeLatencyLevels)
+{
+    DramController dram;
+    const std::uint64_t stride = GetParam();
+    Cycles t = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        auto a = dram.access(t, i * stride);
+        t = a.complete + 100; // quiesce between accesses
+        EXPECT_TRUE(a.latency == 22 || a.latency == 31 ||
+                    a.latency == 40)
+            << "stride=" << stride << " i=" << i
+            << " latency=" << a.latency;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, DramLatencyLevels,
+                         ::testing::Values(8, 64, 1024, 8 * KiB,
+                                           16 * KiB, 32 * KiB, 64 * KiB,
+                                           128 * KiB));
+
+/** Property: steady-state stride latency matches the §2.2 profile. */
+TEST(Dram, StrideLatencyProfile)
+{
+    struct Case
+    {
+        std::uint64_t stride;
+        Cycles expected;
+    };
+    // Small strides amortize the one off-page access per 16 KB page;
+    // at 16 KB+ every access is off-page ("with each subsequent
+    // load", §2.2); at 64 KB+ every access also hits the same bank.
+    const Case cases[] = {
+        {64, 22},           {4 * KiB, 24},  {8 * KiB, 26},
+        {16 * KiB, 31},     {32 * KiB, 31}, {64 * KiB, 40},
+        {128 * KiB, 40},
+    };
+    for (const auto &c : cases) {
+        DramController dram;
+        const std::uint64_t array = 1024 * KiB;
+        Cycles t = 0;
+        // Warm-up pass.
+        for (std::uint64_t a = 0; a < array; a += c.stride)
+            t = dram.access(t, a).complete + 50;
+        // Measured pass.
+        Cycles total = 0;
+        std::uint64_t n = 0;
+        for (std::uint64_t a = 0; a < array; a += c.stride) {
+            auto acc = dram.access(t, a);
+            t = acc.complete + 50;
+            total += acc.latency;
+            ++n;
+        }
+        EXPECT_EQ(total / n, c.expected) << "stride=" << c.stride;
+    }
+}
+
+} // namespace

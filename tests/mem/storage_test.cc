@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the sparse backing storage.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/storage.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using t3dsim::Addr;
+using t3dsim::mem::Storage;
+
+TEST(Storage, ZeroFilledByDefault)
+{
+    Storage s;
+    EXPECT_EQ(s.readU8(0), 0u);
+    EXPECT_EQ(s.readU64(4096), 0u);
+    EXPECT_EQ(s.chunksAllocated(), 0u) << "reads must not materialize";
+}
+
+TEST(Storage, ByteRoundTrip)
+{
+    Storage s;
+    s.writeU8(17, 0xab);
+    EXPECT_EQ(s.readU8(17), 0xab);
+    EXPECT_EQ(s.readU8(16), 0u);
+    EXPECT_EQ(s.readU8(18), 0u);
+}
+
+TEST(Storage, WordRoundTrips)
+{
+    Storage s;
+    s.writeU32(100, 0xdeadbeef);
+    EXPECT_EQ(s.readU32(100), 0xdeadbeefu);
+    s.writeU64(200, 0x0123456789abcdefull);
+    EXPECT_EQ(s.readU64(200), 0x0123456789abcdefull);
+}
+
+TEST(Storage, LittleEndianLayout)
+{
+    Storage s;
+    s.writeU64(0, 0x0807060504030201ull);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(s.readU8(i), i + 1);
+}
+
+TEST(Storage, UnalignedAccess)
+{
+    Storage s;
+    s.writeU64(3, 0x1122334455667788ull);
+    EXPECT_EQ(s.readU64(3), 0x1122334455667788ull);
+    EXPECT_EQ(s.readU32(5), 0x33445566u);
+}
+
+TEST(Storage, BlockAcrossChunkBoundary)
+{
+    Storage s;
+    const Addr boundary = Storage::chunkBytes;
+    std::vector<std::uint8_t> src(4096);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7);
+
+    s.writeBlock(boundary - 2048, src.data(), src.size());
+    std::vector<std::uint8_t> dst(src.size());
+    s.readBlock(boundary - 2048, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_EQ(s.chunksAllocated(), 2u);
+}
+
+TEST(Storage, ReadBlockFromUntouchedIsZero)
+{
+    Storage s;
+    std::uint8_t buf[16];
+    std::memset(buf, 0xff, sizeof(buf));
+    s.readBlock(12345, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(Storage, SparseAllocation)
+{
+    Storage s;
+    s.writeU8(0, 1);
+    s.writeU8(10 * Storage::chunkBytes, 2);
+    EXPECT_EQ(s.chunksAllocated(), 2u);
+}
+
+TEST(Storage, OutOfRangePanics)
+{
+    t3dsim::detail::setThrowOnError(true);
+    Storage s(1024);
+    EXPECT_THROW(s.readU8(1024), std::logic_error);
+    EXPECT_THROW(s.writeU64(1020, 1), std::logic_error);
+    EXPECT_NO_THROW(s.writeU64(1016, 1));
+    t3dsim::detail::setThrowOnError(false);
+}
+
+TEST(Storage, Limit)
+{
+    Storage s(4096);
+    EXPECT_EQ(s.limit(), 4096u);
+}
+
+} // namespace

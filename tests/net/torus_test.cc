@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the 3-D torus topology and routing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/torus.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using t3dsim::net::Coord;
+using t3dsim::net::Torus;
+
+TEST(Torus, CoordRoundTrip)
+{
+    Torus t(4, 2, 2);
+    for (t3dsim::PeId pe = 0; pe < t.numPes(); ++pe)
+        EXPECT_EQ(t.peAt(t.coordOf(pe)), pe);
+}
+
+TEST(Torus, XVariesFastest)
+{
+    Torus t(4, 2, 2);
+    EXPECT_EQ(t.coordOf(0), (Coord{0, 0, 0}));
+    EXPECT_EQ(t.coordOf(1), (Coord{1, 0, 0}));
+    EXPECT_EQ(t.coordOf(4), (Coord{0, 1, 0}));
+    EXPECT_EQ(t.coordOf(8), (Coord{0, 0, 1}));
+}
+
+TEST(Torus, AdjacentNodesAreOneHop)
+{
+    Torus t(4, 4, 2);
+    EXPECT_EQ(t.hops(0, 1), 1u);
+    EXPECT_EQ(t.hops(0, 4), 1u);  // +y
+    EXPECT_EQ(t.hops(0, 16), 1u); // +z
+}
+
+TEST(Torus, WraparoundTakesShortWay)
+{
+    Torus t(8, 1, 1);
+    EXPECT_EQ(t.hops(0, 7), 1u) << "ring wraps";
+    EXPECT_EQ(t.hops(0, 4), 4u) << "diameter";
+    EXPECT_EQ(t.hops(1, 6), 3u);
+}
+
+TEST(Torus, HopsAreSymmetric)
+{
+    Torus t(4, 2, 4);
+    for (t3dsim::PeId a = 0; a < t.numPes(); ++a) {
+        for (t3dsim::PeId b = 0; b < t.numPes(); ++b)
+            EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+    }
+}
+
+TEST(Torus, SelfIsZeroHops)
+{
+    Torus t(4, 4, 2);
+    for (t3dsim::PeId pe = 0; pe < t.numPes(); ++pe)
+        EXPECT_EQ(t.hops(pe, pe), 0u);
+}
+
+TEST(Torus, TransitCyclesScaleWithHops)
+{
+    Torus t(8, 1, 1, /*hop_cycles=*/3);
+    EXPECT_EQ(t.transitCycles(0, 4), 12u);
+}
+
+TEST(Torus, ForPeCountFactorsCubically)
+{
+    auto t = Torus::forPeCount(32);
+    EXPECT_EQ(t.numPes(), 32u);
+    // 32 = 4 x 4 x 2 is the most cubic factorization.
+    EXPECT_EQ(t.dimZ(), 2u);
+    EXPECT_EQ(t.dimY(), 4u);
+    EXPECT_EQ(t.dimX(), 4u);
+
+    auto t64 = Torus::forPeCount(64);
+    EXPECT_EQ(t64.dimX(), 4u);
+    EXPECT_EQ(t64.dimY(), 4u);
+    EXPECT_EQ(t64.dimZ(), 4u);
+}
+
+TEST(Torus, ForPeCountHandlesPrimes)
+{
+    auto t = Torus::forPeCount(7);
+    EXPECT_EQ(t.numPes(), 7u);
+}
+
+TEST(Torus, TriangleInequality)
+{
+    Torus t(4, 4, 2);
+    for (t3dsim::PeId a = 0; a < t.numPes(); ++a) {
+        for (t3dsim::PeId b = 0; b < t.numPes(); ++b) {
+            for (t3dsim::PeId c = 0; c < t.numPes(); ++c) {
+                EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+            }
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests of the bench table printer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "probes/table.hh"
+
+namespace
+{
+
+using t3dsim::probes::Table;
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow("alpha", 1);
+    t.addRow("beta", 2.5);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"a", "b"});
+    t.addRow("short", "x");
+    t.addRow("a-much-longer-cell", "y");
+    std::ostringstream os;
+    t.print(os);
+
+    // Every rendered line has the same width.
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(Table, NumericFormatting)
+{
+    Table t({"v"});
+    t.addRow(3.14159);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.1"), std::string::npos);
+    EXPECT_EQ(os.str().find("3.14159"), std::string::npos)
+        << "one decimal place by default";
+}
+
+TEST(Table, MixedCellTypes)
+{
+    Table t({"a", "b", "c"});
+    t.addRow(1, "two", 3.0);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("two"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader)
+{
+    Table t({"only-header"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only-header"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the hardware barrier network (§7.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "shell/barrier.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using shell::BarrierNetwork;
+
+TEST(Barrier, SinglePeCompletesImmediately)
+{
+    BarrierNetwork b(1, 40);
+    auto exit = b.arrive(0, 100);
+    ASSERT_TRUE(exit.has_value());
+    EXPECT_EQ(*exit, 140u);
+}
+
+TEST(Barrier, ExitIsMaxArrivalPlusLatency)
+{
+    BarrierNetwork b(3, 40);
+    EXPECT_FALSE(b.arrive(0, 100).has_value());
+    EXPECT_FALSE(b.arrive(2, 500).has_value());
+    auto exit = b.arrive(1, 300);
+    ASSERT_TRUE(exit.has_value());
+    EXPECT_EQ(*exit, 540u) << "latest arrival (500) + latency (40)";
+}
+
+TEST(Barrier, CompleteFlagAndCount)
+{
+    BarrierNetwork b(2, 10);
+    EXPECT_FALSE(b.complete());
+    b.arrive(0, 1);
+    EXPECT_EQ(b.arrivedCount(), 1u);
+    b.arrive(1, 2);
+    EXPECT_TRUE(b.complete());
+}
+
+TEST(Barrier, GenerationsReset)
+{
+    BarrierNetwork b(2, 10);
+    b.arrive(0, 1);
+    b.arrive(1, 2);
+    EXPECT_EQ(b.generation(), 0u);
+    b.resetGeneration();
+    EXPECT_EQ(b.generation(), 1u);
+    EXPECT_EQ(b.arrivedCount(), 0u);
+    // A new round works and its exit reflects only new arrivals.
+    b.arrive(1, 1000);
+    auto exit = b.arrive(0, 900);
+    ASSERT_TRUE(exit.has_value());
+    EXPECT_EQ(*exit, 1010u);
+}
+
+TEST(Barrier, DoubleArrivalPanics)
+{
+    detail::setThrowOnError(true);
+    BarrierNetwork b(2, 10);
+    b.arrive(0, 1);
+    EXPECT_THROW(b.arrive(0, 2), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Barrier, ResetWhileIncompletePanics)
+{
+    detail::setThrowOnError(true);
+    BarrierNetwork b(2, 10);
+    b.arrive(0, 1);
+    EXPECT_THROW(b.resetGeneration(), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Barrier, ExitBeforeCompletePanics)
+{
+    detail::setThrowOnError(true);
+    BarrierNetwork b(2, 10);
+    EXPECT_THROW(b.exitTime(), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the fetch&increment shell registers (§7.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "shell/fetch_inc.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using shell::FetchIncRegisters;
+
+TEST(FetchInc, StartsAtZero)
+{
+    FetchIncRegisters regs;
+    EXPECT_EQ(regs.get(0), 0u);
+    EXPECT_EQ(regs.get(1), 0u);
+}
+
+TEST(FetchInc, FetchReturnsOldValue)
+{
+    FetchIncRegisters regs;
+    EXPECT_EQ(regs.fetchInc(0), 0u);
+    EXPECT_EQ(regs.fetchInc(0), 1u);
+    EXPECT_EQ(regs.fetchInc(0), 2u);
+    EXPECT_EQ(regs.get(0), 3u);
+}
+
+TEST(FetchInc, RegistersAreIndependent)
+{
+    FetchIncRegisters regs;
+    regs.fetchInc(0);
+    regs.fetchInc(0);
+    EXPECT_EQ(regs.fetchInc(1), 0u);
+    EXPECT_EQ(regs.get(0), 2u);
+    EXPECT_EQ(regs.get(1), 1u);
+}
+
+TEST(FetchInc, SetReseeds)
+{
+    FetchIncRegisters regs;
+    regs.set(1, 100);
+    EXPECT_EQ(regs.fetchInc(1), 100u);
+    EXPECT_EQ(regs.get(1), 101u);
+}
+
+TEST(FetchInc, OutOfRangePanics)
+{
+    detail::setThrowOnError(true);
+    FetchIncRegisters regs;
+    EXPECT_THROW(regs.fetchInc(2), std::logic_error);
+    EXPECT_THROW(regs.get(9), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

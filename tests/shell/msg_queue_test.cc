@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the user-level message queue receive side (§7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "shell/msg_queue.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using shell::MessageQueue;
+using shell::ShellConfig;
+
+struct MsgQueueTest : ::testing::Test
+{
+    ShellConfig cfg;
+    MessageQueue q{cfg};
+
+    void
+    deliver(Cycles when, std::uint64_t w0)
+    {
+        std::uint64_t words[4] = {w0, 0, 0, 0};
+        q.deliver(when, words);
+    }
+};
+
+TEST_F(MsgQueueTest, EmptyQueue)
+{
+    EXPECT_FALSE(q.hasMessage());
+    EXPECT_FALSE(q.headArrival().has_value());
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST_F(MsgQueueTest, DeliverAndDequeue)
+{
+    deliver(100, 42);
+    ASSERT_TRUE(q.hasMessage());
+    EXPECT_EQ(q.headArrival().value(), 100u);
+
+    auto [msg, done] = q.dequeue(/*now=*/50, /*handler_mode=*/false);
+    EXPECT_EQ(msg.words[0], 42u);
+    // Receiver polled before arrival: done = arrival + interrupt.
+    EXPECT_EQ(done, 100u + cfg.msgInterruptCycles);
+}
+
+TEST_F(MsgQueueTest, LatePollPaysFromNow)
+{
+    deliver(100, 1);
+    auto [msg, done] = q.dequeue(/*now=*/10000, false);
+    EXPECT_EQ(done, 10000u + cfg.msgInterruptCycles);
+}
+
+TEST_F(MsgQueueTest, HandlerModeAddsDispatchCost)
+{
+    deliver(0, 1);
+    auto [msg, done] = q.dequeue(0, /*handler_mode=*/true);
+    EXPECT_EQ(done, cfg.msgInterruptCycles + cfg.msgHandlerCycles);
+}
+
+TEST_F(MsgQueueTest, InterruptCostIs25us)
+{
+    deliver(0, 1);
+    auto [msg, done] = q.dequeue(0, false);
+    EXPECT_NEAR(cyclesToUs(done), 25.0, 0.1);
+}
+
+TEST_F(MsgQueueTest, DeliveryOrderIsByArrival)
+{
+    deliver(200, 2);
+    deliver(100, 1);
+    deliver(300, 3);
+    auto [m1, d1] = q.dequeue(0, false);
+    auto [m2, d2] = q.dequeue(d1, false);
+    auto [m3, d3] = q.dequeue(d2, false);
+    EXPECT_EQ(m1.words[0], 1u);
+    EXPECT_EQ(m2.words[0], 2u);
+    EXPECT_EQ(m3.words[0], 3u);
+}
+
+TEST_F(MsgQueueTest, DequeueEmptyPanics)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(q.dequeue(0, false), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(MsgQueueTest, DeliveredCounter)
+{
+    deliver(1, 1);
+    deliver(2, 2);
+    EXPECT_EQ(q.delivered(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for ArrivalLog — the store_sync / AM wait substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/arrivals.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using t3dsim::ArrivalLog;
+using t3dsim::Cycles;
+
+TEST(ArrivalLog, EmptyLog)
+{
+    ArrivalLog log;
+    EXPECT_EQ(log.totalArrived(), 0u);
+    EXPECT_FALSE(log.timeOfCumulative(1).has_value());
+    EXPECT_EQ(log.arrivedBy(1000), 0u);
+    EXPECT_EQ(log.timeOfCumulative(0).value(), 0u);
+}
+
+TEST(ArrivalLog, CumulativeThreshold)
+{
+    ArrivalLog log;
+    log.record(10, 8);
+    log.record(20, 8);
+    log.record(30, 8);
+    EXPECT_EQ(log.totalArrived(), 24u);
+    EXPECT_EQ(log.timeOfCumulative(8).value(), 10u);
+    EXPECT_EQ(log.timeOfCumulative(9).value(), 20u);
+    EXPECT_EQ(log.timeOfCumulative(16).value(), 20u);
+    EXPECT_EQ(log.timeOfCumulative(24).value(), 30u);
+    EXPECT_FALSE(log.timeOfCumulative(25).has_value());
+}
+
+TEST(ArrivalLog, ArrivedBy)
+{
+    ArrivalLog log;
+    log.record(10, 4);
+    log.record(20, 4);
+    EXPECT_EQ(log.arrivedBy(9), 0u);
+    EXPECT_EQ(log.arrivedBy(10), 4u);
+    EXPECT_EQ(log.arrivedBy(19), 4u);
+    EXPECT_EQ(log.arrivedBy(20), 8u);
+}
+
+TEST(ArrivalLog, OutOfOrderRecordIsSorted)
+{
+    ArrivalLog log;
+    log.record(30, 1);
+    log.record(10, 1);
+    log.record(20, 1);
+    EXPECT_EQ(log.timeOfCumulative(1).value(), 10u);
+    EXPECT_EQ(log.timeOfCumulative(2).value(), 20u);
+    EXPECT_EQ(log.timeOfCumulative(3).value(), 30u);
+}
+
+TEST(ArrivalLog, ZeroAmountIgnored)
+{
+    ArrivalLog log;
+    log.record(5, 0);
+    EXPECT_EQ(log.totalArrived(), 0u);
+}
+
+TEST(ArrivalLog, ConsumePartialEntry)
+{
+    ArrivalLog log;
+    log.record(10, 8);
+    log.record(20, 8);
+    log.consume(4);
+    EXPECT_EQ(log.totalArrived(), 12u);
+    // Remaining 4 units of the first entry still arrive at t=10.
+    EXPECT_EQ(log.timeOfCumulative(4).value(), 10u);
+    EXPECT_EQ(log.timeOfCumulative(5).value(), 20u);
+}
+
+TEST(ArrivalLog, ConsumeWholeEntries)
+{
+    ArrivalLog log;
+    log.record(10, 8);
+    log.record(20, 8);
+    log.consume(8);
+    EXPECT_EQ(log.timeOfCumulative(1).value(), 20u);
+}
+
+TEST(ArrivalLog, ConsumeTooMuchPanics)
+{
+    t3dsim::detail::setThrowOnError(true);
+    ArrivalLog log;
+    log.record(10, 4);
+    EXPECT_THROW(log.consume(5), std::logic_error);
+    t3dsim::detail::setThrowOnError(false);
+}
+
+TEST(ArrivalLog, ResetDropsEverything)
+{
+    ArrivalLog log;
+    log.record(10, 4);
+    log.reset();
+    EXPECT_EQ(log.totalArrived(), 0u);
+    EXPECT_FALSE(log.timeOfCumulative(1).has_value());
+}
+
+} // namespace

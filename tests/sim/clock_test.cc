@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the per-PE logical clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using t3dsim::Clock;
+
+TEST(Clock, StartsAtZero)
+{
+    Clock c;
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Clock, Advance)
+{
+    Clock c;
+    c.advance(10);
+    c.advance(5);
+    EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(Clock, AdvanceTo)
+{
+    Clock c;
+    c.advanceTo(100);
+    EXPECT_EQ(c.now(), 100u);
+}
+
+TEST(Clock, AdvanceToBackwardsPanics)
+{
+    t3dsim::detail::setThrowOnError(true);
+    Clock c;
+    c.advance(50);
+    EXPECT_THROW(c.advanceTo(49), std::logic_error);
+    t3dsim::detail::setThrowOnError(false);
+}
+
+TEST(Clock, SyncToOnlyMovesForward)
+{
+    Clock c;
+    c.advance(50);
+    c.syncTo(40); // no-op
+    EXPECT_EQ(c.now(), 50u);
+    c.syncTo(60);
+    EXPECT_EQ(c.now(), 60u);
+}
+
+TEST(Clock, NsConversion)
+{
+    Clock c;
+    c.advance(150); // 150 cycles at 6.667 ns
+    EXPECT_NEAR(c.nowNs(), 1000.0, 1.0); // ~1 us
+}
+
+TEST(Clock, Reset)
+{
+    Clock c;
+    c.advance(7);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(TimeConversion, RoundTrip)
+{
+    using namespace t3dsim;
+    EXPECT_EQ(nsToCycles(cyclesToNs(22)), 22u);
+    EXPECT_NEAR(cyclesToNs(22), 146.7, 0.5);   // ~145 ns (§2.2)
+    EXPECT_NEAR(cyclesToUs(150), 1.0, 0.01);   // ~1 us
+    EXPECT_NEAR(usToCycles(180.0), 27000.0, 2.0); // BLT startup
+}
+
+} // namespace

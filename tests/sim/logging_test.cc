@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the error-reporting helpers in throw mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { t3dsim::detail::setThrowOnError(true); }
+    void TearDown() override { t3dsim::detail::setThrowOnError(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsLogicError)
+{
+    EXPECT_THROW(T3D_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST_F(LoggingTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(T3D_FATAL("bad config: ", "x"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(T3D_ASSERT(1 + 1 == 2, "unreachable"));
+}
+
+TEST_F(LoggingTest, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(T3D_ASSERT(false, "value=", 7), std::logic_error);
+}
+
+TEST_F(LoggingTest, MessageContainsDetails)
+{
+    try {
+        T3D_PANIC("widget ", 3, " exploded");
+        FAIL() << "did not throw";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("widget 3 exploded"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(T3D_WARN("just a warning ", 1));
+    EXPECT_NO_THROW(T3D_INFORM("fyi ", 2));
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for RunningStat and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using t3dsim::Histogram;
+using t3dsim::RunningStat;
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.mean(), 31.0 / 8.0, 1e-12);
+}
+
+TEST(RunningStat, VarianceMatchesDirectFormula)
+{
+    RunningStat s;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= 8;
+    double var = 0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= 8;
+
+    for (double x : xs)
+        s.add(x);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);  // bucket 0 (inclusive lower edge)
+    h.add(1.99); // bucket 0
+    h.add(2.0);  // bucket 1
+    h.add(9.99); // bucket 4
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(-1.0);
+    h.add(10.0); // hi is exclusive
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RenderMentionsNonEmptyBuckets)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(3.5);
+    const std::string text = h.render();
+    EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+    EXPECT_NE(text.find("[3, 4)"), std::string::npos);
+    EXPECT_EQ(text.find("[1, 2)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests of bulk transfers (§6): every mechanism moves data
+ * correctly, and the bandwidth ordering matches Figure 8 — prefetch
+ * beats cached beats uncached in the mid range, the BLT wins above
+ * ~16 KB, and stores beat the BLT for writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using splitc::GlobalAddr;
+using splitc::Proc;
+using splitc::ProcTask;
+using splitc::runSpmd;
+
+constexpr Addr remoteBase = 0x100000;
+constexpr Addr localBase = 0x200000;
+
+struct BulkTest : ::testing::Test
+{
+    Machine m{MachineConfig::t3d(4)};
+
+    void
+    SetUp() override
+    {
+        for (int i = 0; i < 16384; ++i)
+            m.node(1).storage().writeU64(remoteBase + 8 * i, 7000 + i);
+    }
+
+    void
+    expectCopied(std::size_t bytes)
+    {
+        for (std::size_t i = 0; i < bytes / 8; ++i) {
+            ASSERT_EQ(m.node(0).storage().readU64(localBase + 8 * i),
+                      7000 + i)
+                << "word " << i;
+        }
+    }
+
+    /** Run one mechanism on PE0 and return MB/s. */
+    template <typename Fn>
+    double
+    bandwidth(std::size_t bytes, Fn &&fn)
+    {
+        double mbps = 0;
+        runSpmd(m, [&](Proc &p) -> ProcTask {
+            if (p.pe() == 0) {
+                const Cycles t0 = p.now();
+                fn(p);
+                p.node().mb();
+                const double secs =
+                    cyclesToNs(p.now() - t0) * 1e-9;
+                mbps = (double(bytes) / 1e6) / secs;
+            }
+            co_return;
+        });
+        return mbps;
+    }
+};
+
+TEST_F(BulkTest, UncachedCopiesData)
+{
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.bulkReadUncached(localBase,
+                               GlobalAddr::make(1, remoteBase), 1024);
+        co_return;
+    });
+    expectCopied(1024);
+}
+
+TEST_F(BulkTest, CachedCopiesData)
+{
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.bulkReadCached(localBase,
+                             GlobalAddr::make(1, remoteBase), 1024);
+        co_return;
+    });
+    expectCopied(1024);
+}
+
+TEST_F(BulkTest, CachedLeavesNoStaleLines)
+{
+    // The coherence flushes must leave none of the source cached.
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.bulkReadCached(localBase,
+                             GlobalAddr::make(1, remoteBase), 512);
+            auto &annex = p.node().shell().annex();
+            EXPECT_EQ(annex.peOf(1), 1u);
+            // Probe a few source lines: all flushed.
+            for (int i = 0; i < 16; ++i) {
+                const Addr pa = alpha::makePa(1, remoteBase + 32 * i);
+                EXPECT_FALSE(p.node().dcache().probe(pa));
+            }
+        }
+        co_return;
+    });
+}
+
+TEST_F(BulkTest, PrefetchCopiesData)
+{
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.bulkReadPrefetch(localBase,
+                               GlobalAddr::make(1, remoteBase), 2048);
+        co_return;
+    });
+    expectCopied(2048);
+}
+
+TEST_F(BulkTest, BltCopiesData)
+{
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.bulkReadBlt(localBase, GlobalAddr::make(1, remoteBase),
+                          4096);
+        co_return;
+    });
+    expectCopied(4096);
+}
+
+TEST_F(BulkTest, DispatchingBulkReadCopiesData)
+{
+    for (std::size_t bytes : {8ul, 64ul, 4096ul, 32ul * KiB}) {
+        runSpmd(m, [&](Proc &p) -> ProcTask {
+            if (p.pe() == 0)
+                p.bulkRead(localBase, GlobalAddr::make(1, remoteBase),
+                           bytes);
+            co_return;
+        });
+        expectCopied(bytes);
+    }
+}
+
+TEST_F(BulkTest, MidSizeOrderingPrefetchWins)
+{
+    // Figure 8 (left) at 1 KB: prefetch > cached > uncached; BLT is
+    // hopeless (180 us startup).
+    const std::size_t bytes = 1024;
+    auto src = GlobalAddr::make(1, remoteBase);
+    const double uncached = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadUncached(localBase, src, bytes);
+    });
+    const double cached = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadCached(localBase, src, bytes);
+    });
+    const double prefetch = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadPrefetch(localBase, src, bytes);
+    });
+    const double blt = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadBlt(localBase, src, bytes);
+    });
+
+    EXPECT_GT(prefetch, cached);
+    EXPECT_GT(cached, uncached);
+    EXPECT_GT(uncached, blt);
+}
+
+TEST_F(BulkTest, LargeSizeBltWins)
+{
+    // Figure 8 (left) at 128 KB: the BLT's streaming rate dominates.
+    const std::size_t bytes = 128 * KiB;
+    auto src = GlobalAddr::make(1, remoteBase);
+    const double prefetch = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadPrefetch(localBase, src, bytes);
+    });
+    const double blt = bandwidth(bytes, [&](Proc &p) {
+        p.bulkReadBlt(localBase, src, bytes);
+    });
+    EXPECT_GT(blt, prefetch);
+}
+
+TEST_F(BulkTest, WriteStoresBeatBlt)
+{
+    // Figure 8 (right): non-blocking stores beat the BLT at every
+    // size.
+    for (int i = 0; i < 8192; ++i)
+        m.node(0).storage().writeU64(localBase + 8 * i, i);
+    auto dst = GlobalAddr::make(1, 0x300000);
+    for (std::size_t bytes : {1024ul, 64ul * KiB}) {
+        const double stores = bandwidth(bytes, [&](Proc &p) {
+            p.bulkWriteStores(dst, localBase, bytes);
+        });
+        const double blt = bandwidth(bytes, [&](Proc &p) {
+            p.bulkWriteBlt(dst, localBase, bytes);
+        });
+        EXPECT_GT(stores, blt) << "bytes=" << bytes;
+    }
+}
+
+TEST_F(BulkTest, WriteStoresPeakNear90MBps)
+{
+    for (int i = 0; i < 16384; ++i)
+        m.node(0).storage().writeU64(localBase + 8 * i, i);
+    auto dst = GlobalAddr::make(1, 0x300000);
+    const std::size_t bytes = 128 * KiB;
+    const double mbps = bandwidth(bytes, [&](Proc &p) {
+        p.bulkWriteStores(dst, localBase, bytes);
+    });
+    EXPECT_NEAR(mbps, 90.0, 20.0) << "§6.2 bus-limited store peak";
+}
+
+TEST_F(BulkTest, BulkWriteMovesData)
+{
+    for (int i = 0; i < 512; ++i)
+        m.node(0).storage().writeU64(localBase + 8 * i, 9000 + i);
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.bulkWrite(GlobalAddr::make(1, 0x300000), localBase, 4096);
+        co_return;
+    });
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(m.node(1).storage().readU64(0x300000 + 8 * i),
+                  9000u + i);
+}
+
+TEST_F(BulkTest, SplitPhaseBulkGet)
+{
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            // Large enough to use the BLT (async) path.
+            p.bulkGet(localBase, GlobalAddr::make(1, remoteBase),
+                      16 * KiB);
+            p.compute(1000); // overlapped work
+            p.sync();
+        }
+        co_return;
+    });
+    expectCopied(16 * KiB);
+}
+
+TEST_F(BulkTest, SplitPhaseBulkPut)
+{
+    for (int i = 0; i < 256; ++i)
+        m.node(0).storage().writeU64(localBase + 8 * i, 4000 + i);
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.bulkPut(GlobalAddr::make(1, 0x300000), localBase, 2048);
+            p.sync();
+        }
+        co_return;
+    });
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(m.node(1).storage().readU64(0x300000 + 8 * i),
+                  4000u + i);
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests of the SPMD coroutine executor: barrier clock convergence,
+ * store_sync wakeups, message waits, deadlock detection.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using splitc::Proc;
+using splitc::ProcTask;
+using splitc::runSpmd;
+
+TEST(Executor, AllProcsRun)
+{
+    Machine m(MachineConfig::t3d(8));
+    std::vector<int> ran(8, 0);
+    auto finish = runSpmd(m, [&](Proc &p) -> ProcTask {
+        ran[p.pe()] = 1;
+        co_return;
+    });
+    for (int r : ran)
+        EXPECT_EQ(r, 1);
+    EXPECT_EQ(finish.size(), 8u);
+}
+
+TEST(Executor, BarrierSynchronizesClocks)
+{
+    Machine m(MachineConfig::t3d(4));
+    std::vector<Cycles> after(4);
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        // Unequal work before the barrier.
+        p.compute(100 * (p.pe() + 1));
+        co_await p.barrier();
+        after[p.pe()] = p.now();
+        co_return;
+    });
+    // Everyone exits at (max arrival + latency) + end cost.
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(after[i], after[0]);
+    EXPECT_GE(after[0], 400u);
+}
+
+TEST(Executor, MultipleBarrierGenerations)
+{
+    Machine m(MachineConfig::t3d(4));
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        for (int round = 0; round < 5; ++round) {
+            p.compute((p.pe() * 37 + round * 11) % 100);
+            co_await p.barrier();
+        }
+        co_return;
+    });
+    EXPECT_EQ(m.barrier().generation(), 5u);
+}
+
+TEST(Executor, LowestClockRunsFirst)
+{
+    Machine m(MachineConfig::t3d(2));
+    std::vector<PeId> order;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.compute(1000);
+        co_await p.barrier();
+        order.push_back(p.pe());
+        co_return;
+    });
+    ASSERT_EQ(order.size(), 2u);
+}
+
+TEST(Executor, StoreSyncWakesReceiver)
+{
+    Machine m(MachineConfig::t3d(2));
+    std::uint64_t got = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 1) {
+            // Receiver waits for 8 bytes before the sender runs.
+            co_await p.storeSync(8);
+            got = p.node().core().loadU64(0x20000);
+        } else {
+            p.compute(500); // sender is behind
+            p.storeU64(splitc::GlobalAddr::make(1, 0x20000), 77);
+        }
+        co_return;
+    });
+    EXPECT_EQ(got, 77u);
+}
+
+TEST(Executor, StoreSyncAlreadySatisfied)
+{
+    Machine m(MachineConfig::t3d(2));
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.storeU64(splitc::GlobalAddr::make(1, 0x20000), 1);
+            co_await p.barrier();
+        } else {
+            co_await p.barrier();
+            // Store already arrived: must not suspend forever.
+            co_await p.storeSync(8);
+        }
+        co_return;
+    });
+    SUCCEED();
+}
+
+TEST(Executor, StoreSyncResumeTimeRespectsArrival)
+{
+    Machine m(MachineConfig::t3d(2));
+    Cycles receiver_done = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 1) {
+            co_await p.storeSync(8);
+            receiver_done = p.now();
+        } else {
+            p.compute(10000);
+            p.storeU64(splitc::GlobalAddr::make(1, 0x20000), 1);
+        }
+        co_return;
+    });
+    EXPECT_GT(receiver_done, 10000u)
+        << "receiver cannot observe data before it was sent";
+}
+
+TEST(Executor, MessageWait)
+{
+    Machine m(MachineConfig::t3d(2));
+    std::uint64_t got = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 1) {
+            co_await p.waitMessage();
+            got = p.takeMessage(false).words[0];
+        } else {
+            p.compute(300);
+            p.sendMessage(1, {42, 0, 0, 0});
+        }
+        co_return;
+    });
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(Executor, DeadlockIsDetected)
+{
+    detail::setThrowOnError(true);
+    Machine m(MachineConfig::t3d(2));
+    EXPECT_THROW(
+        runSpmd(m,
+                [&](Proc &p) -> ProcTask {
+                    if (p.pe() == 0)
+                        co_await p.storeSync(8); // never satisfied
+                    co_return;
+                }),
+        std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Executor, ExceptionsPropagate)
+{
+    Machine m(MachineConfig::t3d(2));
+    EXPECT_THROW(runSpmd(m,
+                         [&](Proc &p) -> ProcTask {
+                             if (p.pe() == 1)
+                                 throw std::runtime_error("boom");
+                             co_return;
+                         }),
+                 std::runtime_error);
+}
+
+TEST(Executor, FinishTimesReported)
+{
+    Machine m(MachineConfig::t3d(3));
+    auto finish = runSpmd(m, [&](Proc &p) -> ProcTask {
+        p.compute(100 * (p.pe() + 1));
+        co_return;
+    });
+    // +4: the end-of-run write-buffer flush (MB) per node.
+    EXPECT_EQ(finish[0], 104u);
+    EXPECT_EQ(finish[1], 204u);
+    EXPECT_EQ(finish[2], 304u);
+}
+
+TEST(Executor, FuzzyBarrierOverlapsWork)
+{
+    // §7.5: code placed between start-barrier and end-barrier
+    // overlaps with the synchronization. Two runs of the same
+    // imbalanced program: the fuzzy version hides PE0's extra work
+    // inside the window and must finish earlier.
+    auto run = [](bool fuzzy) {
+        Machine m(MachineConfig::t3d(4));
+        auto finish = runSpmd(m, [&](Proc &p) -> ProcTask {
+            // Everyone else is slow to arrive.
+            if (p.pe() != 0)
+                p.compute(5000);
+            if (fuzzy) {
+                p.startBarrier();
+                if (p.pe() == 0)
+                    p.compute(4000); // hidden inside the window
+                co_await p.endBarrier();
+            } else {
+                co_await p.barrier();
+                if (p.pe() == 0)
+                    p.compute(4000);
+            }
+            co_await p.barrier();
+            co_return;
+        });
+        return *std::max_element(finish.begin(), finish.end());
+    };
+    const Cycles fuzzy = run(true);
+    const Cycles plain = run(false);
+    EXPECT_LT(fuzzy + 3500, plain)
+        << "the fuzzy window must hide ~4000 cycles";
+}
+
+TEST(Executor, FuzzyBarrierMisuseDetected)
+{
+    detail::setThrowOnError(true);
+    Machine m(MachineConfig::t3d(1));
+    EXPECT_THROW(runSpmd(m,
+                         [&](Proc &p) -> ProcTask {
+                             p.startBarrier();
+                             p.startBarrier(); // double start
+                             co_return;
+                         }),
+                 std::logic_error);
+    EXPECT_THROW(runSpmd(m,
+                         [&](Proc &p) -> ProcTask {
+                             co_await p.endBarrier(); // no start
+                             co_return;
+                         }),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Executor, SinglePeBarrierDoesNotSuspend)
+{
+    Machine m(MachineConfig::t3d(1));
+    int after = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        co_await p.barrier();
+        after = 1;
+        co_return;
+    });
+    EXPECT_EQ(after, 1);
+}
+
+} // namespace

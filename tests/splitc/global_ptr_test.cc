@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for Split-C global pointers (§3.1/§3.3): representation,
+ * extraction/construction, null test, local and global arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "splitc/global_ptr.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using splitc::GlobalAddr;
+using splitc::GlobalPtr;
+
+TEST(GlobalAddr, MakeAndExtract)
+{
+    auto a = GlobalAddr::make(17, 0x1234);
+    EXPECT_EQ(a.pe(), 17u);
+    EXPECT_EQ(a.local(), 0x1234u);
+}
+
+TEST(GlobalAddr, RepresentationLayout)
+{
+    // §3.3: processor in the upper 16 bits, local address below.
+    auto a = GlobalAddr::make(3, 0x100);
+    EXPECT_EQ(a.bits(), (std::uint64_t{3} << 48) | 0x100);
+}
+
+TEST(GlobalAddr, TransferRoundTrip)
+{
+    auto a = GlobalAddr::make(9, 0xabcd);
+    auto b = GlobalAddr::fromBits(a.bits());
+    EXPECT_EQ(a, b);
+}
+
+TEST(GlobalAddr, NullTest)
+{
+    GlobalAddr null;
+    EXPECT_TRUE(null.isNull());
+    EXPECT_FALSE(GlobalAddr::make(0, 8).isNull());
+    EXPECT_FALSE(GlobalAddr::make(1, 0).isNull());
+}
+
+TEST(GlobalAddr, LocalArithmeticStaysOnPe)
+{
+    auto a = GlobalAddr::make(5, 0x100);
+    auto b = a.addLocal(0x40);
+    EXPECT_EQ(b.pe(), 5u);
+    EXPECT_EQ(b.local(), 0x140u);
+    auto c = b.addLocal(-0x40);
+    EXPECT_EQ(c, a);
+}
+
+TEST(GlobalAddr, LocalArithmeticNeverOverflowsIntoPe)
+{
+    // §3.3: bit 42 of any virtual address is zero, so in-range local
+    // arithmetic cannot touch the processor field.
+    auto a = GlobalAddr::make(5, (Addr{1} << 40));
+    auto b = a.addLocal(1 << 20);
+    EXPECT_EQ(b.pe(), 5u);
+}
+
+TEST(GlobalAddr, GlobalArithmeticPeVariesFastest)
+{
+    // Element i+1 is on the next processor, same offset.
+    auto a = GlobalAddr::make(0, 0x100);
+    auto b = a.addGlobal(1, 8, /*procs=*/4);
+    EXPECT_EQ(b.pe(), 1u);
+    EXPECT_EQ(b.local(), 0x100u);
+}
+
+TEST(GlobalAddr, GlobalArithmeticWrapsToNextOffset)
+{
+    // §3.1: "addresses wrap around from the last processor to the
+    // next offset on the first processor."
+    auto a = GlobalAddr::make(3, 0x100);
+    auto b = a.addGlobal(1, 8, 4);
+    EXPECT_EQ(b.pe(), 0u);
+    EXPECT_EQ(b.local(), 0x108u);
+}
+
+TEST(GlobalAddr, GlobalArithmeticNegativeWraps)
+{
+    auto a = GlobalAddr::make(0, 0x108);
+    auto b = a.addGlobal(-1, 8, 4);
+    EXPECT_EQ(b.pe(), 3u);
+    EXPECT_EQ(b.local(), 0x100u);
+}
+
+TEST(GlobalAddr, GlobalArithmeticManySteps)
+{
+    auto a = GlobalAddr::make(0, 0);
+    auto b = a.addGlobal(11, 8, 4); // 11 = 2*4 + 3
+    EXPECT_EQ(b.pe(), 3u);
+    EXPECT_EQ(b.local(), 16u);
+}
+
+/** Property: +n then -n is the identity for global arithmetic. */
+class GlobalArith : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(GlobalArith, RoundTrip)
+{
+    const std::int64_t n = GetParam();
+    auto a = GlobalAddr::make(2, 0x1000);
+    for (std::uint32_t procs : {4u, 7u, 32u}) {
+        auto b = a.addGlobal(n, 8, procs).addGlobal(-n, 8, procs);
+        EXPECT_EQ(b, a) << "n=" << n << " procs=" << procs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, GlobalArith,
+                         ::testing::Values(0, 1, 3, 31, 32, 33, 100,
+                                           1000));
+
+TEST(GlobalPtr, TypedArithmetic)
+{
+    auto p = GlobalPtr<double>::make(1, 0x100);
+    auto q = p + 3;
+    EXPECT_EQ(q.local(), 0x100u + 24u);
+    EXPECT_EQ((q - 3), p);
+    q += 1;
+    EXPECT_EQ(q.local(), 0x100u + 32u);
+}
+
+TEST(GlobalPtr, TypedGlobalArithmetic)
+{
+    auto p = GlobalPtr<std::uint64_t>::make(3, 0);
+    auto q = p.addGlobal(2, 4);
+    EXPECT_EQ(q.pe(), 1u);
+    EXPECT_EQ(q.local(), 8u);
+}
+
+TEST(GlobalPtr, Comparisons)
+{
+    auto p = GlobalPtr<int>::make(1, 0x100);
+    auto q = GlobalPtr<int>::make(1, 0x104);
+    EXPECT_LT(p, q);
+    EXPECT_EQ(p, GlobalPtr<int>::make(1, 0x100));
+}
+
+} // namespace

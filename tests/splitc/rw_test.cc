@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of blocking Split-C read/write (§4.4): correctness and the
+ * end-to-end costs the paper reports (~850 ns read, ~981 ns write),
+ * plus the §4.5 byte-write clobbering mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alpha/byte_ops.hh"
+#include "machine/machine.hh"
+#include "splitc/executor.hh"
+#include "splitc/proc.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+using splitc::GlobalAddr;
+using splitc::Proc;
+using splitc::ProcTask;
+using splitc::runSpmd;
+
+TEST(SplitcRw, RemoteReadMovesValue)
+{
+    Machine m(MachineConfig::t3d(4));
+    m.node(1).storage().writeU64(0x30000, 4242);
+    std::uint64_t got = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            got = p.readU64(GlobalAddr::make(1, 0x30000));
+        co_return;
+    });
+    EXPECT_EQ(got, 4242u);
+}
+
+TEST(SplitcRw, RemoteReadCostNear850ns)
+{
+    Machine m(MachineConfig::t3d(4));
+    double ns = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            auto a = GlobalAddr::make(1, 0x30000);
+            p.readU64(a); // warm: annex + remote page
+            const Cycles t0 = p.now();
+            p.readU64(a + 8);
+            ns = cyclesToNs(p.now() - t0);
+        }
+        co_return;
+    });
+    // §4.4: ~850 ns total (raw read + annex + pointer overhead).
+    // Warmed path skips the annex reload, so allow the band between
+    // the 610 ns raw cost and the full 850 ns.
+    EXPECT_GT(ns, 600.0);
+    EXPECT_LT(ns, 900.0);
+}
+
+TEST(SplitcRw, ColdReadIncludesAnnexSetup)
+{
+    Machine m(MachineConfig::t3d(4));
+    double cold = 0, warm = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            auto a1 = GlobalAddr::make(1, 0x30000);
+            auto a2 = GlobalAddr::make(2, 0x30000);
+            p.readU64(a1); // warm pages for pe 1
+            p.readU64(a2); // warm pages for pe 2; annex now at pe 2
+            Cycles t0 = p.now();
+            p.readU64(a1 + 8); // cold: annex must be reloaded
+            cold = double(p.now() - t0);
+            t0 = p.now();
+            p.readU64(a1 + 16); // warm: same annex target
+            warm = double(p.now() - t0);
+        }
+        co_return;
+    });
+    EXPECT_NEAR(cold - warm, 23.0, 2.0) << "annex update cost (§3.2)";
+}
+
+TEST(SplitcRw, RemoteWriteBlocksUntilComplete)
+{
+    Machine m(MachineConfig::t3d(4));
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0)
+            p.writeU64(GlobalAddr::make(1, 0x30000), 99);
+        co_return;
+    });
+    EXPECT_EQ(m.node(1).storage().readU64(0x30000), 99u);
+}
+
+TEST(SplitcRw, RemoteWriteCostNear981ns)
+{
+    Machine m(MachineConfig::t3d(4));
+    double ns = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            auto a = GlobalAddr::make(1, 0x30000);
+            p.writeU64(a, 1); // warm
+            const Cycles t0 = p.now();
+            p.writeU64(a + 64, 2);
+            ns = cyclesToNs(p.now() - t0);
+        }
+        co_return;
+    });
+    EXPECT_NEAR(ns, 981.0, 150.0);
+}
+
+TEST(SplitcRw, LocalAccessesAreFast)
+{
+    Machine m(MachineConfig::t3d(4));
+    double read_ns = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 2) {
+            auto a = p.allocLocal(64);
+            p.writeU64(a, 5);
+            p.readU64(a); // warm cache
+            const Cycles t0 = p.now();
+            EXPECT_EQ(p.readU64(a), 5u);
+            read_ns = cyclesToNs(p.now() - t0);
+        }
+        co_return;
+    });
+    EXPECT_LT(read_ns, 30.0) << "local read through a global pointer";
+}
+
+TEST(SplitcRw, FloatRoundTrip)
+{
+    Machine m(MachineConfig::t3d(2));
+    double got = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.writeF64(GlobalAddr::make(1, 0x30000), 3.25);
+            got = p.readF64(GlobalAddr::make(1, 0x30000));
+        }
+        co_return;
+    });
+    EXPECT_DOUBLE_EQ(got, 3.25);
+}
+
+TEST(SplitcRw, ByteReadWrite)
+{
+    Machine m(MachineConfig::t3d(2));
+    m.node(1).storage().writeU64(0x30000, 0x8877665544332211ull);
+    std::uint8_t got = 0;
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            got = p.readU8(GlobalAddr::make(1, 0x30002));
+            p.writeU8(GlobalAddr::make(1, 0x30003), 0xff);
+        }
+        co_return;
+    });
+    EXPECT_EQ(got, 0x33u);
+    EXPECT_EQ(m.node(1).storage().readU64(0x30000),
+              0x88776655ff332211ull);
+}
+
+TEST(SplitcRw, ByteWriteClobberHazard)
+{
+    // §4.5: two processors updating different bytes of the same word
+    // with read-modify-write sequences — one update clobbers the
+    // other. The test forces the interleaving by separating the
+    // reads from the writes with a barrier.
+    Machine m(MachineConfig::t3d(3));
+    m.node(2).storage().writeU64(0x30000, 0);
+
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        auto word = GlobalAddr::make(2, 0x30000);
+        if (p.pe() == 0 || p.pe() == 1) {
+            // Both read the word (both see 0)...
+            std::uint64_t w = p.readU64(word);
+            co_await p.barrier();
+            // ...then both write their modified copy back.
+            const unsigned byte = p.pe(); // byte 0 or byte 1
+            w = alpha::mergeByte(w, byte, 0xaa);
+            p.writeU64(word, w);
+            co_await p.barrier();
+        } else {
+            co_await p.barrier();
+            co_await p.barrier();
+        }
+        co_return;
+    });
+
+    const std::uint64_t result = m.node(2).storage().readU64(0x30000);
+    const bool clobbered = result == 0xaa || result == 0xaa00;
+    EXPECT_TRUE(clobbered)
+        << "one byte update must be lost; got " << std::hex << result;
+}
+
+TEST(SplitcRw, AmByteWriteIsAtomic)
+{
+    // The §7.4 fix: byte writes shipped to the owner cannot clobber.
+    Machine m(MachineConfig::t3d(3));
+    m.node(2).storage().writeU64(0x30000, 0);
+
+    runSpmd(m, [&](Proc &p) -> ProcTask {
+        auto word = GlobalAddr::make(2, 0x30000);
+        if (p.pe() == 0 || p.pe() == 1) {
+            p.amWriteByte(word.addLocal(p.pe()), 0xaa);
+            co_await p.barrier();
+        } else {
+            co_await p.barrier();
+            // Owner drains its AM queue.
+            while (p.amPoll()) {
+            }
+            p.node().mb();
+        }
+        co_return;
+    });
+
+    EXPECT_EQ(m.node(2).storage().readU64(0x30000), 0xaaaau)
+        << "both byte updates must survive";
+}
+
+} // namespace
