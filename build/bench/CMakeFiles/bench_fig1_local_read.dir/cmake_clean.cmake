@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_local_read.dir/bench_fig1_local_read.cc.o"
+  "CMakeFiles/bench_fig1_local_read.dir/bench_fig1_local_read.cc.o.d"
+  "bench_fig1_local_read"
+  "bench_fig1_local_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_local_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

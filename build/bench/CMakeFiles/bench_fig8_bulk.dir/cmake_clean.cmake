@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bulk.dir/bench_fig8_bulk.cc.o"
+  "CMakeFiles/bench_fig8_bulk.dir/bench_fig8_bulk.cc.o.d"
+  "bench_fig8_bulk"
+  "bench_fig8_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

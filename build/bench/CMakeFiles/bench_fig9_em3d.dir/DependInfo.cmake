@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_em3d.cc" "bench/CMakeFiles/bench_fig9_em3d.dir/bench_fig9_em3d.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_em3d.dir/bench_fig9_em3d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/em3d/CMakeFiles/t3dsim_em3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/t3dsim_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/t3dsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/t3dsim_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/t3dsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/t3dsim_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/t3dsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t3dsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

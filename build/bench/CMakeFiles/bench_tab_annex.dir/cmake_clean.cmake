@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_annex.dir/bench_tab_annex.cc.o"
+  "CMakeFiles/bench_tab_annex.dir/bench_tab_annex.cc.o.d"
+  "bench_tab_annex"
+  "bench_tab_annex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_annex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

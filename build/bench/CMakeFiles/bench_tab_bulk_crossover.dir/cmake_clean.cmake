@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_bulk_crossover.dir/bench_tab_bulk_crossover.cc.o"
+  "CMakeFiles/bench_tab_bulk_crossover.dir/bench_tab_bulk_crossover.cc.o.d"
+  "bench_tab_bulk_crossover"
+  "bench_tab_bulk_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_bulk_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_prefetch_breakdown.dir/bench_tab_prefetch_breakdown.cc.o"
+  "CMakeFiles/bench_tab_prefetch_breakdown.dir/bench_tab_prefetch_breakdown.cc.o.d"
+  "bench_tab_prefetch_breakdown"
+  "bench_tab_prefetch_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_prefetch_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

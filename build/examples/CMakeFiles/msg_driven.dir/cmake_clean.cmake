@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_driven.dir/msg_driven.cpp.o"
+  "CMakeFiles/msg_driven.dir/msg_driven.cpp.o.d"
+  "msg_driven"
+  "msg_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

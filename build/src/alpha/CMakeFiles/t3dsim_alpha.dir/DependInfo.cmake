@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alpha/cache.cc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/cache.cc.o" "gcc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/cache.cc.o.d"
+  "/root/repo/src/alpha/core.cc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/core.cc.o" "gcc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/core.cc.o.d"
+  "/root/repo/src/alpha/tlb.cc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/tlb.cc.o" "gcc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/tlb.cc.o.d"
+  "/root/repo/src/alpha/write_buffer.cc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/write_buffer.cc.o" "gcc" "src/alpha/CMakeFiles/t3dsim_alpha.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/t3dsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t3dsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

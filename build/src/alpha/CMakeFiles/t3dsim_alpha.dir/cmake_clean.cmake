@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_alpha.dir/cache.cc.o"
+  "CMakeFiles/t3dsim_alpha.dir/cache.cc.o.d"
+  "CMakeFiles/t3dsim_alpha.dir/core.cc.o"
+  "CMakeFiles/t3dsim_alpha.dir/core.cc.o.d"
+  "CMakeFiles/t3dsim_alpha.dir/tlb.cc.o"
+  "CMakeFiles/t3dsim_alpha.dir/tlb.cc.o.d"
+  "CMakeFiles/t3dsim_alpha.dir/write_buffer.cc.o"
+  "CMakeFiles/t3dsim_alpha.dir/write_buffer.cc.o.d"
+  "libt3dsim_alpha.a"
+  "libt3dsim_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_em3d.dir/graph.cc.o"
+  "CMakeFiles/t3dsim_em3d.dir/graph.cc.o.d"
+  "CMakeFiles/t3dsim_em3d.dir/run.cc.o"
+  "CMakeFiles/t3dsim_em3d.dir/run.cc.o.d"
+  "libt3dsim_em3d.a"
+  "libt3dsim_em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

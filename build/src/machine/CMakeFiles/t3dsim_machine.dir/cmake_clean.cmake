@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_machine.dir/machine.cc.o"
+  "CMakeFiles/t3dsim_machine.dir/machine.cc.o.d"
+  "CMakeFiles/t3dsim_machine.dir/node.cc.o"
+  "CMakeFiles/t3dsim_machine.dir/node.cc.o.d"
+  "CMakeFiles/t3dsim_machine.dir/workstation.cc.o"
+  "CMakeFiles/t3dsim_machine.dir/workstation.cc.o.d"
+  "libt3dsim_machine.a"
+  "libt3dsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

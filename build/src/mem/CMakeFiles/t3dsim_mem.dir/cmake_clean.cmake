@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_mem.dir/dram.cc.o"
+  "CMakeFiles/t3dsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/t3dsim_mem.dir/storage.cc.o"
+  "CMakeFiles/t3dsim_mem.dir/storage.cc.o.d"
+  "libt3dsim_mem.a"
+  "libt3dsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

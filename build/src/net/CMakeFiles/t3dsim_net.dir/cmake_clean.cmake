@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_net.dir/torus.cc.o"
+  "CMakeFiles/t3dsim_net.dir/torus.cc.o.d"
+  "libt3dsim_net.a"
+  "libt3dsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

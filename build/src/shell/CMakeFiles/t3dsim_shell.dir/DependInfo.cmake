@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shell/annex.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/annex.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/annex.cc.o.d"
+  "/root/repo/src/shell/barrier.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/barrier.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/barrier.cc.o.d"
+  "/root/repo/src/shell/blt.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/blt.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/blt.cc.o.d"
+  "/root/repo/src/shell/fetch_inc.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/fetch_inc.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/fetch_inc.cc.o.d"
+  "/root/repo/src/shell/msg_queue.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/msg_queue.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/msg_queue.cc.o.d"
+  "/root/repo/src/shell/prefetch.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/prefetch.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/prefetch.cc.o.d"
+  "/root/repo/src/shell/remote_engine.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/remote_engine.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/remote_engine.cc.o.d"
+  "/root/repo/src/shell/shell.cc" "src/shell/CMakeFiles/t3dsim_shell.dir/shell.cc.o" "gcc" "src/shell/CMakeFiles/t3dsim_shell.dir/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alpha/CMakeFiles/t3dsim_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/t3dsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/t3dsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t3dsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

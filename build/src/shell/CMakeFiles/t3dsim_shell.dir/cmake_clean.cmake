@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_shell.dir/annex.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/annex.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/barrier.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/barrier.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/blt.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/blt.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/fetch_inc.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/fetch_inc.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/msg_queue.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/msg_queue.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/prefetch.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/prefetch.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/remote_engine.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/remote_engine.cc.o.d"
+  "CMakeFiles/t3dsim_shell.dir/shell.cc.o"
+  "CMakeFiles/t3dsim_shell.dir/shell.cc.o.d"
+  "libt3dsim_shell.a"
+  "libt3dsim_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libt3dsim_shell.a"
+)

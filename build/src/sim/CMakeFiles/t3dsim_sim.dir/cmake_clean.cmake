@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_sim.dir/arrivals.cc.o"
+  "CMakeFiles/t3dsim_sim.dir/arrivals.cc.o.d"
+  "CMakeFiles/t3dsim_sim.dir/logging.cc.o"
+  "CMakeFiles/t3dsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/t3dsim_sim.dir/rng.cc.o"
+  "CMakeFiles/t3dsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/t3dsim_sim.dir/stats.cc.o"
+  "CMakeFiles/t3dsim_sim.dir/stats.cc.o.d"
+  "libt3dsim_sim.a"
+  "libt3dsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

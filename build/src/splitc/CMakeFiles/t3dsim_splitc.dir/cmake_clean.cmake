@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3dsim_splitc.dir/executor.cc.o"
+  "CMakeFiles/t3dsim_splitc.dir/executor.cc.o.d"
+  "CMakeFiles/t3dsim_splitc.dir/proc.cc.o"
+  "CMakeFiles/t3dsim_splitc.dir/proc.cc.o.d"
+  "libt3dsim_splitc.a"
+  "libt3dsim_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3dsim_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

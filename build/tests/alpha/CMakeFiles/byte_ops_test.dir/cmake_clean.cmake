@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_ops_test.dir/byte_ops_test.cc.o"
+  "CMakeFiles/byte_ops_test.dir/byte_ops_test.cc.o.d"
+  "byte_ops_test"
+  "byte_ops_test.pdb"
+  "byte_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/alpha
+# Build directory: /root/repo/build/tests/alpha
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/alpha/byte_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha/write_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha/core_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blt_test.dir/blt_test.cc.o"
+  "CMakeFiles/blt_test.dir/blt_test.cc.o.d"
+  "blt_test"
+  "blt_test.pdb"
+  "blt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/hops_test.cc" "tests/machine/CMakeFiles/hops_test.dir/hops_test.cc.o" "gcc" "tests/machine/CMakeFiles/hops_test.dir/hops_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/t3dsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/t3dsim_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/t3dsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/t3dsim_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/t3dsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/t3dsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

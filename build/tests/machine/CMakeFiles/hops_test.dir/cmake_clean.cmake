@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hops_test.dir/hops_test.cc.o"
+  "CMakeFiles/hops_test.dir/hops_test.cc.o.d"
+  "hops_test"
+  "hops_test.pdb"
+  "hops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonym_test.dir/synonym_test.cc.o"
+  "CMakeFiles/synonym_test.dir/synonym_test.cc.o.d"
+  "synonym_test"
+  "synonym_test.pdb"
+  "synonym_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstation_test.dir/workstation_test.cc.o"
+  "CMakeFiles/workstation_test.dir/workstation_test.cc.o.d"
+  "workstation_test"
+  "workstation_test.pdb"
+  "workstation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/machine
+# Build directory: /root/repo/build/tests/machine
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/machine/remote_access_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/blt_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/workstation_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/messaging_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/synonym_test[1]_include.cmake")
+include("/root/repo/build/tests/machine/hops_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_probe_test.dir/stride_probe_test.cc.o"
+  "CMakeFiles/stride_probe_test.dir/stride_probe_test.cc.o.d"
+  "stride_probe_test"
+  "stride_probe_test.pdb"
+  "stride_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

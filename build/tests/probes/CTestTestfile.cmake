@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/probes
+# Build directory: /root/repo/build/tests/probes
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/probes/stride_probe_test[1]_include.cmake")
+include("/root/repo/build/tests/probes/table_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annex_test.dir/annex_test.cc.o"
+  "CMakeFiles/annex_test.dir/annex_test.cc.o.d"
+  "annex_test"
+  "annex_test.pdb"
+  "annex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_inc_test.dir/fetch_inc_test.cc.o"
+  "CMakeFiles/fetch_inc_test.dir/fetch_inc_test.cc.o.d"
+  "fetch_inc_test"
+  "fetch_inc_test.pdb"
+  "fetch_inc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_inc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

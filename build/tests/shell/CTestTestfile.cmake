@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shell
+# Build directory: /root/repo/build/tests/shell
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shell/annex_test[1]_include.cmake")
+include("/root/repo/build/tests/shell/barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/shell/fetch_inc_test[1]_include.cmake")
+include("/root/repo/build/tests/shell/msg_queue_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/arrivals_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/logging_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_test.dir/am_test.cc.o"
+  "CMakeFiles/am_test.dir/am_test.cc.o.d"
+  "am_test"
+  "am_test.pdb"
+  "am_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

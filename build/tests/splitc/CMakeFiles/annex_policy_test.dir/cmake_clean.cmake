@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annex_policy_test.dir/annex_policy_test.cc.o"
+  "CMakeFiles/annex_policy_test.dir/annex_policy_test.cc.o.d"
+  "annex_policy_test"
+  "annex_policy_test.pdb"
+  "annex_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annex_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

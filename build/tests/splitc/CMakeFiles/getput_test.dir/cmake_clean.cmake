@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getput_test.dir/getput_test.cc.o"
+  "CMakeFiles/getput_test.dir/getput_test.cc.o.d"
+  "getput_test"
+  "getput_test.pdb"
+  "getput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_ptr_test.dir/global_ptr_test.cc.o"
+  "CMakeFiles/global_ptr_test.dir/global_ptr_test.cc.o.d"
+  "global_ptr_test"
+  "global_ptr_test.pdb"
+  "global_ptr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_ptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

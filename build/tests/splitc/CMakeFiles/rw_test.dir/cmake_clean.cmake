@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_test.dir/rw_test.cc.o"
+  "CMakeFiles/rw_test.dir/rw_test.cc.o.d"
+  "rw_test"
+  "rw_test.pdb"
+  "rw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/splitc
+# Build directory: /root/repo/build/tests/splitc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/splitc/global_ptr_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/rw_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/getput_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/store_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/bulk_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/annex_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/am_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/spread_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/bulk_param_test[1]_include.cmake")
+include("/root/repo/build/tests/splitc/proc_edge_test[1]_include.cmake")
