@@ -4,7 +4,21 @@
  * model itself executes simulated operations. Not a paper figure —
  * this guards the usability of the library (slow models make the
  * Figure 9 sweeps impractical).
+ *
+ * Besides the google-benchmark micro cases, the binary always runs an
+ * end-to-end EM3D-sweep throughput case (all six Figure 9 versions)
+ * at 32 and 256 PEs and writes the result to BENCH_sim_speed.json so
+ * successive PRs can track the host-performance trajectory. Pass
+ * --sweep-only to skip the micro benchmarks.
  */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -100,6 +114,145 @@ BM_Em3dIteration(benchmark::State &state)
 }
 BENCHMARK(BM_Em3dIteration);
 
+// ---------------------------------------------------------------------
+// End-to-end EM3D-sweep throughput (BENCH_sim_speed.json)
+// ---------------------------------------------------------------------
+
+/** Sweep workload: small enough to finish quickly at 256 PEs, large
+ *  enough that per-run setup does not dominate. */
+em3d::Config
+sweepConfig()
+{
+    em3d::Config cfg;
+    cfg.nodesPerPe = 32;
+    cfg.degree = 4;
+    cfg.remoteFraction = 0.2;
+    cfg.iterations = 2;
+    return cfg;
+}
+
+struct SweepOutcome
+{
+    std::uint32_t pes = 0;
+    double hostSeconds = 0;
+
+    /** Sum over the six versions of the run's elapsed model time. */
+    std::uint64_t simCycles = 0;
+
+    /** simCycles * pes / hostSeconds: every PE advances through the
+     *  elapsed window, so this is the aggregate rate at which the
+     *  host retires simulated PE-cycles (the gem5 "host rate"). */
+    double simPeCyclesPerHostSecond = 0;
+
+    /** Sum of per-version checksums: a determinism anchor and a
+     *  guard against the work being optimized away. */
+    double checksum = 0;
+};
+
+SweepOutcome
+runSweep(std::uint32_t pes)
+{
+    const em3d::Config cfg = sweepConfig();
+    SweepOutcome out;
+    out.pes = pes;
+
+    // One untimed warmup pass (page cache, allocator), then best of
+    // three timed passes: the 32-PE case finishes in milliseconds,
+    // where cold-start and scheduler noise would dominate a single
+    // cold measurement.
+    constexpr int timedPasses = 3;
+    for (int pass = -1; pass < timedPasses; ++pass) {
+        std::uint64_t sim_cycles = 0;
+        double checksum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (em3d::Version v : em3d::allVersions) {
+            const em3d::Result r = em3d::run(cfg, v, pes);
+            sim_cycles += r.elapsed;
+            checksum += r.checksum;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double host_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (pass < 0)
+            continue; // warmup
+        if (out.hostSeconds == 0 || host_s < out.hostSeconds)
+            out.hostSeconds = host_s;
+        // The simulation is deterministic: every pass must produce
+        // the same model time and checksum.
+        out.simCycles = sim_cycles;
+        out.checksum = checksum;
+    }
+    out.simPeCyclesPerHostSecond =
+        double(out.simCycles) * pes / out.hostSeconds;
+    return out;
+}
+
+bool
+writeSweepJson(const std::vector<SweepOutcome> &cases,
+               const std::string &path)
+{
+    const em3d::Config cfg = sweepConfig();
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os.precision(17);
+    os << "{\n"
+       << "  \"bench\": \"sim_speed_em3d_sweep\",\n"
+       << "  \"config\": {\"nodes_per_pe\": " << cfg.nodesPerPe
+       << ", \"degree\": " << cfg.degree
+       << ", \"remote_fraction\": " << cfg.remoteFraction
+       << ", \"iterations\": " << cfg.iterations
+       << ", \"versions\": 6},\n"
+       << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const SweepOutcome &c = cases[i];
+        os << "    {\"pes\": " << c.pes
+           << ", \"host_seconds\": " << c.hostSeconds
+           << ", \"sim_cycles\": " << c.simCycles
+           << ", \"sim_pe_cycles_per_host_second\": "
+           << c.simPeCyclesPerHostSecond
+           << ", \"checksum\": " << c.checksum << "}"
+           << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return bool(os);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool sweep_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0) {
+            sweep_only = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+
+    if (!sweep_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+
+    std::vector<SweepOutcome> cases;
+    for (std::uint32_t pes : {32u, 256u}) {
+        cases.push_back(runSweep(pes));
+        const SweepOutcome &c = cases.back();
+        std::cout << "em3d_sweep pes=" << c.pes
+                  << " host_s=" << c.hostSeconds
+                  << " sim_cycles=" << c.simCycles
+                  << " sim_pe_cycles/s=" << c.simPeCyclesPerHostSecond
+                  << " checksum=" << c.checksum << "\n";
+    }
+    if (!writeSweepJson(cases, "BENCH_sim_speed.json")) {
+        std::cerr << "error: could not write BENCH_sim_speed.json\n";
+        return 1;
+    }
+    std::cout << "wrote BENCH_sim_speed.json\n";
+    return 0;
+}

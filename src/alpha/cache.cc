@@ -1,7 +1,6 @@
 #include "alpha/cache.hh"
 
 #include <bit>
-#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -11,74 +10,26 @@ namespace t3dsim::alpha
 DirectMappedCache::DirectMappedCache(std::uint64_t size_bytes,
                                      std::uint64_t line_bytes)
     : _numLines(size_bytes / line_bytes), _lineBytes(line_bytes),
-      _indexMask(_numLines - 1), _lines(_numLines)
+      _indexMask(_numLines - 1),
+      _lineShift(static_cast<unsigned>(std::countr_zero(line_bytes))),
+      _tagShift(static_cast<unsigned>(std::countr_zero(line_bytes)) +
+                static_cast<unsigned>(std::countr_zero(_numLines))),
+      _lines(_numLines), _data(size_bytes, 0)
 {
     T3D_ASSERT(std::has_single_bit(size_bytes),
                "cache size must be a power of two");
     T3D_ASSERT(std::has_single_bit(line_bytes),
                "cache line size must be a power of two");
     T3D_ASSERT(size_bytes >= line_bytes, "cache smaller than one line");
-    for (auto &line : _lines)
-        line.data.resize(_lineBytes, 0);
-}
-
-std::uint64_t
-DirectMappedCache::indexOf(Addr pa) const
-{
-    return (pa / _lineBytes) & _indexMask;
-}
-
-std::uint64_t
-DirectMappedCache::tagOf(Addr pa) const
-{
-    return pa / _lineBytes / _numLines;
-}
-
-bool
-DirectMappedCache::probe(Addr pa) const
-{
-    const Line &line = _lines[indexOf(pa)];
-    return line.valid && line.tag == tagOf(pa);
-}
-
-void
-DirectMappedCache::fill(Addr pa, const std::uint8_t *line_data)
-{
-    Line &line = _lines[indexOf(pa)];
-    line.valid = true;
-    line.tag = tagOf(pa);
-    std::memcpy(line.data.data(), line_data, _lineBytes);
 }
 
 void
 DirectMappedCache::read(Addr pa, void *dst, std::size_t len) const
 {
     T3D_ASSERT(probe(pa), "reading a line that is not cached: pa=", pa);
-    const Line &line = _lines[indexOf(pa)];
     std::size_t off = pa & (_lineBytes - 1);
     T3D_ASSERT(off + len <= _lineBytes, "cache read crosses line");
-    std::memcpy(dst, line.data.data() + off, len);
-}
-
-bool
-DirectMappedCache::updateIfPresent(Addr pa, const void *src,
-                                   std::size_t len)
-{
-    if (!probe(pa))
-        return false;
-    Line &line = _lines[indexOf(pa)];
-    std::size_t off = pa & (_lineBytes - 1);
-    T3D_ASSERT(off + len <= _lineBytes, "cache write crosses line");
-    std::memcpy(line.data.data() + off, src, len);
-    return true;
-}
-
-void
-DirectMappedCache::invalidate(Addr pa)
-{
-    Line &line = _lines[indexOf(pa)];
-    if (line.valid && line.tag == tagOf(pa))
-        line.valid = false;
+    std::memcpy(dst, lineData(indexOf(pa)) + off, len);
 }
 
 void

@@ -9,14 +9,22 @@
  * Lines hold real data so that the *incoherence* of cached remote
  * reads (§4.2/§4.4) is observable: a line cached from a remote node
  * goes stale when the owner updates its memory.
+ *
+ * Host-performance notes: probe/read/update sit on the simulator's
+ * hottest path (every load and store), so index/tag math is
+ * shift-and-mask (geometry is power-of-two by contract), line data
+ * lives in one flat allocation instead of a vector per line, and the
+ * accessors are inline.
  */
 
 #ifndef T3DSIM_ALPHA_CACHE_HH
 #define T3DSIM_ALPHA_CACHE_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::alpha
@@ -33,7 +41,12 @@ class DirectMappedCache
     DirectMappedCache(std::uint64_t size_bytes, std::uint64_t line_bytes);
 
     /** True if the line holding @p pa is present. */
-    bool probe(Addr pa) const;
+    bool
+    probe(Addr pa) const
+    {
+        const Line &line = _lines[indexOf(pa)];
+        return line.valid && line.tag == tagOf(pa);
+    }
 
     /** Number of lines. */
     std::uint64_t numLines() const { return _numLines; }
@@ -42,17 +55,28 @@ class DirectMappedCache
     std::uint64_t sizeBytes() const { return _numLines * _lineBytes; }
 
     /** Cache-line index of @p pa. */
-    std::uint64_t indexOf(Addr pa) const;
+    std::uint64_t indexOf(Addr pa) const
+    {
+        return (pa >> _lineShift) & _indexMask;
+    }
 
     /** Tag of @p pa. */
-    std::uint64_t tagOf(Addr pa) const;
+    std::uint64_t tagOf(Addr pa) const { return pa >> _tagShift; }
 
     /**
      * Install the line holding @p pa with @p line_data (lineBytes()
      * bytes, line-aligned). Evicts whatever was there (write-through
      * caches have nothing dirty to write back).
      */
-    void fill(Addr pa, const std::uint8_t *line_data);
+    void
+    fill(Addr pa, const std::uint8_t *line_data)
+    {
+        const std::uint64_t idx = indexOf(pa);
+        Line &line = _lines[idx];
+        line.valid = true;
+        line.tag = tagOf(pa);
+        std::memcpy(lineData(idx), line_data, _lineBytes);
+    }
 
     /** Read @p len bytes at @p pa; the line must be present. */
     void read(Addr pa, void *dst, std::size_t len) const;
@@ -62,10 +86,27 @@ class DirectMappedCache
      * update its bytes; otherwise do nothing (no write-allocate).
      * @return true if the line was present.
      */
-    bool updateIfPresent(Addr pa, const void *src, std::size_t len);
+    bool
+    updateIfPresent(Addr pa, const void *src, std::size_t len)
+    {
+        const std::uint64_t idx = indexOf(pa);
+        Line &line = _lines[idx];
+        if (!line.valid || line.tag != tagOf(pa))
+            return false;
+        const std::size_t off = pa & (_lineBytes - 1);
+        T3D_ASSERT(off + len <= _lineBytes, "cache write crosses line");
+        std::memcpy(lineData(idx) + off, src, len);
+        return true;
+    }
 
     /** Invalidate the line holding @p pa if present and matching. */
-    void invalidate(Addr pa);
+    void
+    invalidate(Addr pa)
+    {
+        Line &line = _lines[indexOf(pa)];
+        if (line.valid && line.tag == tagOf(pa))
+            line.valid = false;
+    }
 
     /** Invalidate every line. */
     void invalidateAll();
@@ -78,16 +119,28 @@ class DirectMappedCache
     {
         bool valid = false;
         std::uint64_t tag = 0;
-        std::vector<std::uint8_t> data;
     };
 
     /** Line-aligned base address of the line holding @p pa. */
     Addr lineBase(Addr pa) const { return pa & ~(_lineBytes - 1); }
 
+    /** Data bytes of line @p idx within the flat backing array. */
+    std::uint8_t *lineData(std::uint64_t idx)
+    {
+        return _data.data() + idx * _lineBytes;
+    }
+    const std::uint8_t *lineData(std::uint64_t idx) const
+    {
+        return _data.data() + idx * _lineBytes;
+    }
+
     std::uint64_t _numLines;
     std::uint64_t _lineBytes;
     std::uint64_t _indexMask;
+    unsigned _lineShift;
+    unsigned _tagShift;
     std::vector<Line> _lines;
+    std::vector<std::uint8_t> _data;
 };
 
 } // namespace t3dsim::alpha

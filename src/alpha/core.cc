@@ -44,22 +44,26 @@ AlphaCore::loadBytes(Addr va, void *dst, std::size_t len)
 
     const Addr line_pa = pa & ~(_dcache.lineBytes() - 1);
     const std::size_t line_bytes = _dcache.lineBytes();
-    std::vector<std::uint8_t> line(line_bytes);
+    // Stack buffer: a heap allocation per miss dominates the host
+    // profile. Lines are hardware-small.
+    std::uint8_t line[256];
+    T3D_ASSERT(line_bytes <= sizeof(line),
+               "cache line larger than fill buffer");
 
     if (_l2 && _l2->probe(pa)) {
         _clock.advance(_config.l2HitCycles);
-        _l2->read(line_pa, line.data(), line_bytes);
+        _l2->read(line_pa, line, line_bytes);
     } else {
         // The annex index is consumed before memory: DRAM sees only
         // the 27-bit segment offset, so synonyms share bank state.
         auto access = _dram.access(_clock.now(), offsetOfPa(line_pa));
         _clock.advanceTo(access.complete);
-        _storage.readBlock(offsetOfPa(line_pa), line.data(), line_bytes);
+        _storage.readBlock(offsetOfPa(line_pa), line, line_bytes);
         if (_l2)
-            _l2->fill(line_pa, line.data());
+            _l2->fill(line_pa, line);
     }
 
-    _dcache.fill(line_pa, line.data());
+    _dcache.fill(line_pa, line);
     _dcache.read(pa, dst, len);
 }
 
@@ -142,18 +146,6 @@ AlphaCore::mb()
     _clock.advance(_config.mbCycles);
     _clock.syncTo(done);
     _wb.commitUpTo(_clock.now());
-}
-
-void
-AlphaCore::chargeRegOps(unsigned n)
-{
-    _clock.advance(Cycles{n} * _config.regOpCycles);
-}
-
-void
-AlphaCore::charge(Cycles cycles)
-{
-    _clock.advance(cycles);
 }
 
 void

@@ -88,7 +88,11 @@ class AlphaCore
     void mb();
 
     /** Charge @p n register-operation cycles. */
-    void chargeRegOps(unsigned n);
+    void
+    chargeRegOps(unsigned n)
+    {
+        _clock.advance(Cycles{n} * _config.regOpCycles);
+    }
 
     /**
      * Routing tag attached to the NEXT store only (the annex-
@@ -100,7 +104,7 @@ class AlphaCore
     std::uint32_t storeTag() const { return _storeTag; }
 
     /** Charge an arbitrary number of cycles (shell primitives). */
-    void charge(Cycles cycles);
+    void charge(Cycles cycles) { _clock.advance(cycles); }
 
     /** Flush (invalidate) the cache line holding @p va; 23 cycles. */
     void flushLine(Addr va);

@@ -1,5 +1,7 @@
 #include "alpha/tlb.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace t3dsim::alpha
@@ -10,19 +12,20 @@ Tlb::Tlb(const Config &config)
 {
     T3D_ASSERT(_config.entries > 0, "TLB needs entries");
     T3D_ASSERT(_config.pageBytes > 0, "TLB page size must be positive");
+    if (std::has_single_bit(_config.pageBytes))
+        _pageShift = static_cast<unsigned>(
+            std::countr_zero(_config.pageBytes));
 }
 
 Cycles
-Tlb::access(Addr va)
+Tlb::accessScan(std::uint64_t page)
 {
-    const std::uint64_t page = va / _config.pageBytes;
-    ++_useCounter;
-
     Entry *victim = &_entries[0];
     for (auto &entry : _entries) {
         if (entry.valid && entry.page == page) {
             entry.lastUse = _useCounter;
             ++_hits;
+            _lastHit = static_cast<unsigned>(&entry - _entries.data());
             return 0;
         }
         if (!entry.valid) {
@@ -36,13 +39,14 @@ Tlb::access(Addr va)
     victim->valid = true;
     victim->page = page;
     victim->lastUse = _useCounter;
+    _lastHit = static_cast<unsigned>(victim - _entries.data());
     return _config.missPenaltyCycles;
 }
 
 bool
 Tlb::contains(Addr va) const
 {
-    const std::uint64_t page = va / _config.pageBytes;
+    const std::uint64_t page = pageOf(va);
     for (const auto &entry : _entries) {
         if (entry.valid && entry.page == page)
             return true;
@@ -55,6 +59,7 @@ Tlb::flush()
 {
     for (auto &entry : _entries)
         entry.valid = false;
+    _lastHit = ~0u;
 }
 
 } // namespace t3dsim::alpha

@@ -46,8 +46,27 @@ class Tlb
     /**
      * Touch the translation for @p va.
      * @return Penalty cycles (0 on hit).
+     *
+     * Inline fast path: a repeat hit on the entry that satisfied the
+     * previous access (the overwhelming case under the T3D's 4 MB
+     * pages) costs a compare and a counter bump; everything else
+     * falls through to the associative scan.
      */
-    Cycles access(Addr va);
+    Cycles
+    access(Addr va)
+    {
+        const std::uint64_t page = pageOf(va);
+        ++_useCounter;
+        if (_lastHit < _entries.size()) {
+            Entry &entry = _entries[_lastHit];
+            if (entry.valid && entry.page == page) {
+                entry.lastUse = _useCounter;
+                ++_hits;
+                return 0;
+            }
+        }
+        return accessScan(page);
+    }
 
     /** True if the page holding @p va is currently mapped. */
     bool contains(Addr va) const;
@@ -67,8 +86,29 @@ class Tlb
         bool valid = false;
     };
 
+    /** Scan path of access(): LRU lookup/replace for @p page. */
+    Cycles accessScan(std::uint64_t page);
+
+    /** Page number of @p va (shift when the page size is a power of
+     *  two — the common configs — division otherwise). */
+    std::uint64_t
+    pageOf(Addr va) const
+    {
+        return _pageShift ? va >> _pageShift : va / _config.pageBytes;
+    }
+
     Config _config;
     std::vector<Entry> _entries;
+
+    /** log2(pageBytes) when it is a power of two, else 0. */
+    unsigned _pageShift = 0;
+
+    /** Index of the entry that satisfied the last access: repeated
+     *  same-page accesses (the overwhelming pattern under 4 MB
+     *  pages) skip the associative scan. Guarded by a page/valid
+     *  re-check, so it is a pure host-side shortcut. */
+    unsigned _lastHit = ~0u;
+
     std::uint64_t _useCounter = 0;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

@@ -25,15 +25,25 @@ WriteBuffer::issueSlot(Slot &slot, Cycles ready)
     slot.scheduled = true;
     slot.completion = result.completion;
     slot.deferCommit = result.deferCommit;
+    --_unscheduled;
 }
 
 void
 WriteBuffer::issueDue(Cycles now)
 {
+    if (_unscheduled == 0 || now < _earliestDue)
+        return;
+    Cycles next = std::numeric_limits<Cycles>::max();
     for (auto &slot : _slots) {
-        if (!slot.scheduled && slot.accept + _config.holdoffCycles <= now)
-            issueSlot(slot, slot.accept + _config.holdoffCycles);
+        if (slot.scheduled)
+            continue;
+        const Cycles due = slot.accept + _config.holdoffCycles;
+        if (due <= now)
+            issueSlot(slot, due);
+        else
+            next = std::min(next, due);
     }
+    _earliestDue = next;
 }
 
 void
@@ -47,13 +57,6 @@ WriteBuffer::retireCompleted(Cycles now)
             _port.commitLine(front.lineAddr, front.data.data(), front.mask);
         _slots.pop_front();
     }
-}
-
-void
-WriteBuffer::commitUpTo(Cycles now)
-{
-    issueDue(now);
-    retireCompleted(now);
 }
 
 Cycles
@@ -102,6 +105,9 @@ WriteBuffer::write(Cycles now, Addr pa, const void *src, std::size_t len,
         slot.mask |= 1u << (off + i);
     slot.accept = when;
     _slots.push_back(slot);
+    const Cycles due = when + _config.holdoffCycles;
+    _earliestDue = _unscheduled == 0 ? due : std::min(_earliestDue, due);
+    ++_unscheduled;
 
     return (when - now) + _config.issueCycles;
 }

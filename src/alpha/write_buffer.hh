@@ -128,9 +128,19 @@ class WriteBuffer
     /**
      * Advance the buffer's lazy machinery to @p now: issue entries
      * whose hold-off expired, and commit+free entries whose drain
-     * completed. Called at the head of every memory operation.
+     * completed. Called at the head of every memory operation, so
+     * the no-work cases (nothing pending issue, nothing completed)
+     * are decided inline without a function call.
      */
-    void commitUpTo(Cycles now);
+    void
+    commitUpTo(Cycles now)
+    {
+        if (_unscheduled != 0 && now >= _earliestDue)
+            issueDue(now);
+        if (!_slots.empty() && _slots.front().scheduled &&
+            _slots.front().completion <= now)
+            retireCompleted(now);
+    }
 
     /**
      * Force-issue everything and report when the buffer is empty.
@@ -177,6 +187,17 @@ class WriteBuffer
 
     /** FIFO of occupied slots, oldest first. */
     std::deque<Slot> _slots;
+
+    /** Slots not yet issued to memory; issueDue() is called at the
+     *  head of every memory operation and almost always has nothing
+     *  to do, so it early-outs on this count and the earliest
+     *  hold-off expiry instead of scanning. */
+    unsigned _unscheduled = 0;
+
+    /** Lower bound on the earliest unscheduled slot's issue time
+     *  (meaningful only while _unscheduled > 0; may be stale-low
+     *  after a forced issue, which merely costs one extra scan). */
+    Cycles _earliestDue = 0;
 
     std::uint64_t _merges = 0;
     Cycles _stallCycles = 0;

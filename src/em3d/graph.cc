@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -43,46 +42,53 @@ namespace
 void
 resolveSide(Graph::Side &side, PeId pe, Addr vals_base, Addr ghost_base)
 {
-    // Distinct remote references in edge-discovery order (the order
-    // a compiler-built ghost list would fetch in — producers
+    // Distinct remote references, sorted by (srcPe, srcIdx): the
+    // index into this vector IS the ghost slot, so slots come out
+    // grouped by producer and the Bulk version can move each
+    // producer's values as one contiguous block. Sort + unique +
+    // binary search replaces a per-side red-black tree — graph
+    // construction is part of every benchmark's host time.
+    std::vector<std::pair<PeId, std::uint32_t>> keys;
+    for (const auto &edge : side.edges) {
+        if (edge.srcPe != pe)
+            keys.emplace_back(edge.srcPe, edge.srcIdx);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    const auto slot_of = [&](PeId src_pe, std::uint32_t src_idx) {
+        const auto it = std::lower_bound(
+            keys.begin(), keys.end(), std::make_pair(src_pe, src_idx));
+        return static_cast<std::uint32_t>(it - keys.begin());
+    };
+
+    for (std::uint32_t slot = 0; slot < keys.size(); ++slot) {
+        const auto &[src_pe, src_idx] = keys[slot];
+        if (side.groups.empty() || side.groups.back().srcPe != src_pe)
+            side.groups.push_back({src_pe, slot, {}, 0});
+        side.groups.back().srcIdxs.push_back(src_idx);
+    }
+    side.ghostCount = static_cast<std::uint32_t>(keys.size());
+
+    // The fetch list (Bundle/Get) is in edge-discovery order (the
+    // order a compiler-built ghost list would fetch in — producers
     // interleave, so Bundle/Get pay the annex set-up churn of §8).
-    std::map<std::pair<PeId, std::uint32_t>, std::uint32_t> slot_of;
-    std::vector<std::pair<PeId, std::uint32_t>> discovery;
+    std::vector<bool> listed(keys.size(), false);
     for (const auto &edge : side.edges) {
         if (edge.srcPe == pe)
             continue;
-        auto key = std::make_pair(edge.srcPe, edge.srcIdx);
-        if (slot_of.emplace(key, 0).second)
-            discovery.push_back(key);
-    }
-
-    // Ghost slots are assigned grouped by producer (std::map order:
-    // sorted by (srcPe, srcIdx)) so the Bulk version can move each
-    // producer's values as one contiguous block.
-    std::uint32_t next_slot = 0;
-    PeId current_pe = pe;
-    for (auto &[key, slot] : slot_of) {
-        slot = next_slot++;
-        if (side.groups.empty() || current_pe != key.first) {
-            current_pe = key.first;
-            side.groups.push_back({key.first, slot, {}, 0});
+        const std::uint32_t slot = slot_of(edge.srcPe, edge.srcIdx);
+        if (!listed[slot]) {
+            listed[slot] = true;
+            side.fetches.push_back({edge.srcPe, edge.srcIdx, slot});
         }
-        side.groups.back().srcIdxs.push_back(key.second);
-    }
-    side.ghostCount = next_slot;
-
-    // The fetch list (Bundle/Get) is in discovery order.
-    for (const auto &key : discovery) {
-        side.fetches.push_back(
-            {key.first, key.second, slot_of.at(key)});
     }
 
     for (auto &edge : side.edges) {
         if (edge.srcPe == pe) {
             edge.localValueAddr = vals_base + Addr{edge.srcIdx} * 8;
         } else {
-            const std::uint32_t slot =
-                slot_of.at({edge.srcPe, edge.srcIdx});
+            const std::uint32_t slot = slot_of(edge.srcPe, edge.srcIdx);
             edge.localValueAddr = ghost_base + Addr{slot} * 8;
         }
     }
@@ -104,34 +110,34 @@ void
 buildProducerViews(Graph &g, bool e_side)
 {
     // Staging regions: on each producer, consumers in ascending
-    // dstPe order.
-    for (PeId q = 0; q < g.pes; ++q) {
-        Graph::Side &prod = sideOf(g.perPe[q], e_side);
-        Addr offset = 0;
-        for (PeId pe = 0; pe < g.pes; ++pe) {
-            if (pe == q)
-                continue;
-            Graph::Side &cons = sideOf(g.perPe[pe], e_side);
-            for (auto &group : cons.groups) {
-                if (group.srcPe != q)
-                    continue;
-                Graph::StageGroup sg;
-                sg.dstPe = pe;
-                sg.stageOffset = offset;
-                sg.dstFirstSlot = group.firstSlot;
-                sg.srcIdxs = group.srcIdxs;
-                group.producerStageOffset = offset;
-                offset += Addr{8} * sg.srcIdxs.size();
-                prod.stageGroups.push_back(std::move(sg));
+    // dstPe order. One pass over the consumers (visited in ascending
+    // pe order, so each producer sees its consumers in the required
+    // order) instead of a producers x consumers rescan.
+    std::vector<Addr> stage_offset(g.pes, 0);
+    for (PeId pe = 0; pe < g.pes; ++pe) {
+        Graph::Side &cons = sideOf(g.perPe[pe], e_side);
+        for (auto &group : cons.groups) {
+            const PeId q = group.srcPe;
+            Graph::Side &prod = sideOf(g.perPe[q], e_side);
+            Addr &offset = stage_offset[q];
+            Graph::StageGroup sg;
+            sg.dstPe = pe;
+            sg.stageOffset = offset;
+            sg.dstFirstSlot = group.firstSlot;
+            sg.srcIdxs = group.srcIdxs;
+            group.producerStageOffset = offset;
+            offset += Addr{8} * sg.srcIdxs.size();
+            prod.stageGroups.push_back(std::move(sg));
 
-                // Push list entries (slot order within the group).
-                for (std::uint32_t k = 0; k < group.srcIdxs.size();
-                     ++k) {
-                    prod.pushes.push_back(
-                        {group.srcIdxs[k], pe, group.firstSlot + k});
-                }
+            // Push list entries (slot order within the group).
+            for (std::uint32_t k = 0; k < group.srcIdxs.size(); ++k) {
+                prod.pushes.push_back(
+                    {group.srcIdxs[k], pe, group.firstSlot + k});
             }
         }
+    }
+    for (PeId q = 0; q < g.pes; ++q) {
+        Graph::Side &prod = sideOf(g.perPe[q], e_side);
         // Node-order iteration on the producer: sort by source index
         // so consecutive pushes interleave destination PEs — the
         // annex-churn pattern of the Put version (§8).

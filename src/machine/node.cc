@@ -223,10 +223,8 @@ Node::serviceWriteMasked(Cycles arrive, Addr line_offset,
     port_free = access.offPage
         ? access.complete
         : access.start + _config.dram.pipelinedBusyCycles;
-    for (unsigned i = 0; i < alpha::wbLineBytes; ++i) {
-        if (byte_mask & (1u << i))
-            _storage.writeU8(line_offset + i, data[i]);
-    }
+    _storage.writeMasked(line_offset, data, byte_mask,
+                         alpha::wbLineBytes);
     if (cache_inval)
         _dcache.invalidate(line_offset);
     const Cycles extra = access.offPage
@@ -258,6 +256,24 @@ void
 Node::serviceMessage(Cycles arrive, const std::uint64_t words[4])
 {
     _shell.messages().deliver(arrive, words);
+}
+
+void
+Node::setWakeupHooks(std::function<void()> on_store_arrival,
+                     std::function<void()> on_am_arrival,
+                     std::function<void()> on_message)
+{
+    _storeArrivals.setRecordListener(std::move(on_store_arrival));
+    _amArrivals.setRecordListener(std::move(on_am_arrival));
+    _shell.messages().setDeliveryListener(std::move(on_message));
+}
+
+void
+Node::clearWakeupHooks()
+{
+    _storeArrivals.clearRecordListener();
+    _amArrivals.clearRecordListener();
+    _shell.messages().clearDeliveryListener();
 }
 
 void
@@ -302,10 +318,7 @@ Node::commitLine(Addr pa, const std::uint8_t *data,
                  std::uint32_t byte_mask)
 {
     const Addr offset = offsetOfPa(pa);
-    for (unsigned i = 0; i < alpha::wbLineBytes; ++i) {
-        if (byte_mask & (1u << i))
-            _storage.writeU8(offset + i, data[i]);
-    }
+    _storage.writeMasked(offset, data, byte_mask, alpha::wbLineBytes);
 }
 
 } // namespace t3dsim::machine

@@ -21,6 +21,7 @@
 #define T3DSIM_MACHINE_NODE_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "alpha/address.hh"
@@ -145,6 +146,20 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
 
     /** Timestamped arrivals of Active-Message deposits (§7.4). */
     ArrivalLog &amArrivals() { return _amArrivals; }
+
+    /**
+     * Install the SPMD executor's wakeup hooks: host-side callbacks
+     * fired when store bytes, AM deposits, or user messages arrive
+     * at this node, so the executor can wake parked PEs event-driven
+     * instead of polling every node each scheduling step. The hooks
+     * carry no simulated state and cannot affect model timing.
+     */
+    void setWakeupHooks(std::function<void()> on_store_arrival,
+                        std::function<void()> on_am_arrival,
+                        std::function<void()> on_message);
+
+    /** Remove all executor wakeup hooks. */
+    void clearWakeupHooks();
 
   private:
     /**

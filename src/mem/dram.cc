@@ -1,6 +1,7 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -12,11 +13,23 @@ DramController::DramController(const DramConfig &config)
 {
     T3D_ASSERT(_config.numBanks > 0, "DRAM needs at least one bank");
     T3D_ASSERT(_config.pageBytes > 0, "DRAM page size must be positive");
+    if (std::has_single_bit(_config.pageBytes) &&
+        std::has_single_bit(std::uint64_t{_config.numBanks})) {
+        _pow2Geometry = true;
+        _pageShift = static_cast<unsigned>(
+            std::countr_zero(_config.pageBytes));
+        _bankShift = static_cast<unsigned>(
+            std::countr_zero(_config.numBanks));
+    }
 }
 
 std::uint32_t
 DramController::bankOf(Addr addr) const
 {
+    if (_pow2Geometry) [[likely]] {
+        return static_cast<std::uint32_t>(
+            (addr >> _pageShift) & (_config.numBanks - 1));
+    }
     return static_cast<std::uint32_t>(
         (addr / _config.pageBytes) % _config.numBanks);
 }
@@ -24,6 +37,8 @@ DramController::bankOf(Addr addr) const
 std::uint64_t
 DramController::rowOf(Addr addr) const
 {
+    if (_pow2Geometry) [[likely]]
+        return addr >> (_pageShift + _bankShift);
     return addr / (_config.pageBytes * _config.numBanks);
 }
 

@@ -111,6 +111,14 @@ class DramController
     DramConfig _config;
     std::vector<BankState> _banks;
 
+    /** Shift/mask forms of the bank math when pageBytes and numBanks
+     *  are powers of two (the hardware-realistic configs); falls
+     *  back to division otherwise. access() runs per memory access,
+     *  so the divisions are worth avoiding. */
+    bool _pow2Geometry = false;
+    unsigned _pageShift = 0;
+    unsigned _bankShift = 0;
+
     /** Bank used by the most recent access (any bank). */
     std::uint32_t _lastBank = ~std::uint32_t{0};
     bool _anyAccess = false;

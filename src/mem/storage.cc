@@ -12,6 +12,28 @@ Storage::Storage(Addr limit)
 {
 }
 
+Storage::Storage(Storage &&other) noexcept
+    : _limit(other._limit), _chunks(std::move(other._chunks)),
+      _cachedKey(other._cachedKey), _cachedChunk(other._cachedChunk)
+{
+    other._cachedKey = noChunk;
+    other._cachedChunk = nullptr;
+}
+
+Storage &
+Storage::operator=(Storage &&other) noexcept
+{
+    if (this != &other) {
+        _limit = other._limit;
+        _chunks = std::move(other._chunks);
+        _cachedKey = other._cachedKey;
+        _cachedChunk = other._cachedChunk;
+        other._cachedKey = noChunk;
+        other._cachedChunk = nullptr;
+    }
+    return *this;
+}
+
 void
 Storage::checkRange(Addr addr, std::size_t len) const
 {
@@ -23,21 +45,32 @@ Storage::checkRange(Addr addr, std::size_t len) const
 Storage::Chunk &
 Storage::chunkFor(Addr addr)
 {
-    Addr key = addr / chunkBytes;
+    const Addr key = addr / chunkBytes;
+    if (key == _cachedKey)
+        return *_cachedChunk;
     auto it = _chunks.find(key);
     if (it == _chunks.end()) {
         auto chunk = std::make_unique<Chunk>();
         chunk->fill(0);
         it = _chunks.emplace(key, std::move(chunk)).first;
     }
-    return *it->second;
+    _cachedKey = key;
+    _cachedChunk = it->second.get();
+    return *_cachedChunk;
 }
 
 const Storage::Chunk *
 Storage::chunkIfPresent(Addr addr) const
 {
-    auto it = _chunks.find(addr / chunkBytes);
-    return it == _chunks.end() ? nullptr : it->second.get();
+    const Addr key = addr / chunkBytes;
+    if (key == _cachedKey)
+        return _cachedChunk;
+    auto it = _chunks.find(key);
+    if (it == _chunks.end())
+        return nullptr;
+    _cachedKey = key;
+    _cachedChunk = it->second.get();
+    return _cachedChunk;
 }
 
 std::uint8_t
@@ -58,6 +91,16 @@ Storage::writeU8(Addr addr, std::uint8_t value)
 std::uint32_t
 Storage::readU32(Addr addr) const
 {
+    checkRange(addr, sizeof(std::uint32_t));
+    const std::size_t off = addr % chunkBytes;
+    if (off + sizeof(std::uint32_t) <= chunkBytes) [[likely]] {
+        const Chunk *chunk = chunkIfPresent(addr);
+        if (!chunk)
+            return 0;
+        std::uint32_t v;
+        std::memcpy(&v, chunk->data() + off, sizeof(v));
+        return v;
+    }
     std::uint32_t v = 0;
     readBlock(addr, &v, sizeof(v));
     return v;
@@ -66,12 +109,28 @@ Storage::readU32(Addr addr) const
 void
 Storage::writeU32(Addr addr, std::uint32_t value)
 {
+    checkRange(addr, sizeof(value));
+    const std::size_t off = addr % chunkBytes;
+    if (off + sizeof(value) <= chunkBytes) [[likely]] {
+        std::memcpy(chunkFor(addr).data() + off, &value, sizeof(value));
+        return;
+    }
     writeBlock(addr, &value, sizeof(value));
 }
 
 std::uint64_t
 Storage::readU64(Addr addr) const
 {
+    checkRange(addr, sizeof(std::uint64_t));
+    const std::size_t off = addr % chunkBytes;
+    if (off + sizeof(std::uint64_t) <= chunkBytes) [[likely]] {
+        const Chunk *chunk = chunkIfPresent(addr);
+        if (!chunk)
+            return 0;
+        std::uint64_t v;
+        std::memcpy(&v, chunk->data() + off, sizeof(v));
+        return v;
+    }
     std::uint64_t v = 0;
     readBlock(addr, &v, sizeof(v));
     return v;
@@ -80,6 +139,12 @@ Storage::readU64(Addr addr) const
 void
 Storage::writeU64(Addr addr, std::uint64_t value)
 {
+    checkRange(addr, sizeof(value));
+    const std::size_t off = addr % chunkBytes;
+    if (off + sizeof(value) <= chunkBytes) [[likely]] {
+        std::memcpy(chunkFor(addr).data() + off, &value, sizeof(value));
+        return;
+    }
     writeBlock(addr, &value, sizeof(value));
 }
 
@@ -114,6 +179,35 @@ Storage::writeBlock(Addr addr, const void *src, std::size_t len)
         in += take;
         addr += take;
         len -= take;
+    }
+}
+
+void
+Storage::writeMasked(Addr addr, const std::uint8_t *data,
+                     std::uint64_t mask, std::size_t len)
+{
+    checkRange(addr, len);
+    T3D_ASSERT(len <= 64, "writeMasked mask covers at most 64 bytes");
+    std::size_t i = 0;
+    while (i < len) {
+        if (!(mask >> i)) // no set bits left
+            return;
+        const std::size_t off = (addr + i) % chunkBytes;
+        const std::size_t take = std::min(len - i, chunkBytes - off);
+        const std::uint64_t span_mask =
+            take >= 64 ? ~std::uint64_t{0} >> (64 - len)
+                       : ((std::uint64_t{1} << take) - 1) << i;
+        std::uint8_t *base = chunkFor(addr + i).data() + off - i;
+        if ((mask & span_mask) == span_mask) {
+            // Full span (the common case: a whole line commit).
+            std::memcpy(base + i, data + i, take);
+        } else {
+            for (std::size_t b = i; b < i + take; ++b) {
+                if (mask & (std::uint64_t{1} << b))
+                    base[b] = data[b];
+            }
+        }
+        i += take;
     }
 }
 

@@ -8,6 +8,14 @@
  * tests rather than merely asserted. Storage is allocated lazily in
  * fixed-size chunks so a 128 MB node segment costs nothing until
  * touched.
+ *
+ * Host-performance notes: consecutive accesses overwhelmingly hit
+ * the same chunk (stride probes, EM3D ghost fills, line commits), so
+ * a one-entry last-chunk cache answers the chunk lookup with a tag
+ * compare before falling back to the hash map, and the word-sized
+ * accessors take a direct single-chunk path instead of the generic
+ * block-copy loop. Purely host-side: simulated timing is charged by
+ * the callers and unaffected.
  */
 
 #ifndef T3DSIM_MEM_STORAGE_HH
@@ -32,8 +40,8 @@ class Storage
 
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
-    Storage(Storage &&) = default;
-    Storage &operator=(Storage &&) = default;
+    Storage(Storage &&other) noexcept;
+    Storage &operator=(Storage &&other) noexcept;
 
     /** One-past-the-last valid byte address. */
     Addr limit() const { return _limit; }
@@ -55,6 +63,15 @@ class Storage
     /** Copy @p len bytes from @p src into storage. */
     void writeBlock(Addr addr, const void *src, std::size_t len);
 
+    /**
+     * Apply the set bytes of @p mask from @p data to
+     * [addr, addr+len): byte i is written iff bit i of @p mask is
+     * set. One chunk traversal for the whole line — the write-buffer
+     * commit / masked network-write fast path.
+     */
+    void writeMasked(Addr addr, const std::uint8_t *data,
+                     std::uint64_t mask, std::size_t len);
+
     /** Number of chunks materialized so far (test support). */
     std::size_t chunksAllocated() const { return _chunks.size(); }
 
@@ -63,6 +80,9 @@ class Storage
 
   private:
     using Chunk = std::array<std::uint8_t, chunkBytes>;
+
+    /** Tag value meaning "last-chunk cache empty". */
+    static constexpr Addr noChunk = ~Addr{0};
 
     /** Chunk holding @p addr, materializing it zero-filled if needed. */
     Chunk &chunkFor(Addr addr);
@@ -74,6 +94,11 @@ class Storage
 
     Addr _limit;
     std::unordered_map<Addr, std::unique_ptr<Chunk>> _chunks;
+
+    /** One-entry chunk cache (chunk pointers are stable: chunks are
+     *  never freed or reallocated once materialized). */
+    mutable Addr _cachedKey = noChunk;
+    mutable Chunk *_cachedChunk = nullptr;
 };
 
 } // namespace t3dsim::mem

@@ -1,9 +1,6 @@
 #include "net/torus.hh"
 
-#include <algorithm>
 #include <cmath>
-
-#include "sim/logging.hh"
 
 namespace t3dsim::net
 {
@@ -14,6 +11,14 @@ Torus::Torus(std::uint32_t dx, std::uint32_t dy, std::uint32_t dz,
 {
     T3D_ASSERT(dx > 0 && dy > 0 && dz > 0,
                "torus dimensions must be positive");
+    _coords.reserve(numPes());
+    for (PeId pe = 0; pe < numPes(); ++pe) {
+        Coord c;
+        c.x = pe % _dx;
+        c.y = (pe / _dx) % _dy;
+        c.z = pe / (_dx * _dy);
+        _coords.push_back(c);
+    }
 }
 
 Torus
@@ -44,45 +49,12 @@ Torus::forPeCount(std::uint32_t pes, Cycles hop_cycles)
     return Torus(best_x, best_y, best_z, hop_cycles);
 }
 
-Coord
-Torus::coordOf(PeId pe) const
-{
-    T3D_ASSERT(pe < numPes(), "PE out of range: ", pe);
-    Coord c;
-    c.x = pe % _dx;
-    c.y = (pe / _dx) % _dy;
-    c.z = pe / (_dx * _dy);
-    return c;
-}
-
 PeId
 Torus::peAt(const Coord &c) const
 {
     T3D_ASSERT(c.x < _dx && c.y < _dy && c.z < _dz,
                "coordinate out of range");
     return c.x + _dx * (c.y + _dy * c.z);
-}
-
-std::uint32_t
-Torus::ringDistance(std::uint32_t a, std::uint32_t b, std::uint32_t dim)
-{
-    std::uint32_t d = a > b ? a - b : b - a;
-    return std::min(d, dim - d);
-}
-
-std::uint32_t
-Torus::hops(PeId src, PeId dst) const
-{
-    const Coord a = coordOf(src);
-    const Coord b = coordOf(dst);
-    return ringDistance(a.x, b.x, _dx) + ringDistance(a.y, b.y, _dy) +
-        ringDistance(a.z, b.z, _dz);
-}
-
-Cycles
-Torus::transitCycles(PeId src, PeId dst) const
-{
-    return Cycles{hops(src, dst)} * _hopCycles;
 }
 
 } // namespace t3dsim::net

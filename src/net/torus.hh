@@ -12,9 +12,12 @@
 #ifndef T3DSIM_NET_TORUS_HH
 #define T3DSIM_NET_TORUS_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::net
@@ -46,8 +49,15 @@ class Torus
 
     std::uint32_t numPes() const { return _dx * _dy * _dz; }
 
-    /** Coordinates of PE @p pe (x fastest). */
-    Coord coordOf(PeId pe) const;
+    /** Coordinates of PE @p pe (x fastest). Table lookup: this sits
+     *  on the per-remote-operation path, so the div/mod chain runs
+     *  once per PE at construction, not per call. */
+    Coord
+    coordOf(PeId pe) const
+    {
+        T3D_ASSERT(pe < _coords.size(), "PE out of range: ", pe);
+        return _coords[pe];
+    }
 
     /** PE number at coordinates @p c. */
     PeId peAt(const Coord &c) const;
@@ -56,10 +66,21 @@ class Torus
      * Hop count of the dimension-order route from @p src to @p dst,
      * taking the shorter way around each ring.
      */
-    std::uint32_t hops(PeId src, PeId dst) const;
+    std::uint32_t
+    hops(PeId src, PeId dst) const
+    {
+        const Coord a = coordOf(src);
+        const Coord b = coordOf(dst);
+        return ringDistance(a.x, b.x, _dx) +
+            ringDistance(a.y, b.y, _dy) + ringDistance(a.z, b.z, _dz);
+    }
 
     /** One-way transit latency in cycles between two PEs. */
-    Cycles transitCycles(PeId src, PeId dst) const;
+    Cycles
+    transitCycles(PeId src, PeId dst) const
+    {
+        return Cycles{hops(src, dst)} * _hopCycles;
+    }
 
     Cycles hopCycles() const { return _hopCycles; }
 
@@ -69,13 +90,20 @@ class Torus
 
   private:
     /** Ring distance along one dimension of extent @p dim. */
-    static std::uint32_t ringDistance(std::uint32_t a, std::uint32_t b,
-                                      std::uint32_t dim);
+    static std::uint32_t
+    ringDistance(std::uint32_t a, std::uint32_t b, std::uint32_t dim)
+    {
+        std::uint32_t d = a > b ? a - b : b - a;
+        return std::min(d, dim - d);
+    }
 
     std::uint32_t _dx;
     std::uint32_t _dy;
     std::uint32_t _dz;
     Cycles _hopCycles;
+
+    /** Precomputed coordOf for every PE. */
+    std::vector<Coord> _coords;
 };
 
 } // namespace t3dsim::net

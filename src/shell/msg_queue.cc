@@ -25,6 +25,8 @@ MessageQueue::deliver(Cycles arrive, const std::uint64_t words[4])
         [](Cycles t, const Message &m) { return t < m.arrival; });
     _queue.insert(pos, msg);
     ++_delivered;
+    if (_onDeliver)
+        _onDeliver();
 }
 
 std::optional<Cycles>

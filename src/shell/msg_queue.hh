@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "shell/config.hh"
@@ -61,10 +62,25 @@ class MessageQueue
     std::size_t depth() const { return _queue.size(); }
     std::uint64_t delivered() const { return _delivered; }
 
+    /**
+     * Install a host-side hook fired after every deliver(). Used by
+     * the SPMD executor to wake a parked receiver event-driven
+     * instead of polling the queue; must not touch simulated state.
+     */
+    void
+    setDeliveryListener(std::function<void()> listener)
+    {
+        _onDeliver = std::move(listener);
+    }
+
+    /** Remove the deliver() hook. */
+    void clearDeliveryListener() { _onDeliver = nullptr; }
+
   private:
     const ShellConfig &_config;
     std::deque<Message> _queue;
     std::uint64_t _delivered = 0;
+    std::function<void()> _onDeliver;
 };
 
 } // namespace t3dsim::shell

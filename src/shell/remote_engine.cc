@@ -35,15 +35,17 @@ RemoteEngine::read(PeId dst, Addr offset, Addr pa, ReadMode mode)
         // Transfer the whole 32-byte line and install it locally.
         const std::size_t line_bytes = _core.dcache().lineBytes();
         const Addr line_offset = offset & ~(line_bytes - 1);
-        std::vector<std::uint8_t> line(line_bytes);
+        std::uint8_t line[256];
+        T3D_ASSERT(line_bytes <= sizeof(line),
+                   "cache line larger than transfer buffer");
         Cycles remote_done =
-            port.serviceRead(request_arrive, line_offset, line.data(),
+            port.serviceRead(request_arrive, line_offset, line,
                              line_bytes, _localPe);
         done = remote_done + transit + _config.readFixedCycles +
             _config.cachedReadExtraCycles;
         const Addr line_pa = pa & ~(Addr{line_bytes} - 1);
-        _core.dcache().fill(line_pa, line.data());
-        std::memcpy(&value, line.data() + (offset - line_offset), 8);
+        _core.dcache().fill(line_pa, line);
+        std::memcpy(&value, line + (offset - line_offset), 8);
     } else {
         Cycles remote_done =
             port.serviceRead(request_arrive, offset, &value, 8,

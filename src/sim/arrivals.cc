@@ -16,13 +16,37 @@ ArrivalLog::record(Cycles when, std::uint64_t amount)
     // Most arrivals are recorded roughly in time order; fall back to a
     // sorted insert when they are not.
     if (_entries.empty() || _entries.back().when <= when) {
-        _entries.push_back({when, amount});
-        return;
+        std::uint64_t cum = amount;
+        if (_prefixValid == _entries.size()) {
+            // Common case: the prefix stays fully valid.
+            if (!_entries.empty())
+                cum += _entries.back().cum;
+            ++_prefixValid;
+        }
+        _entries.push_back({when, amount, cum});
+    } else {
+        auto pos = std::upper_bound(
+            _entries.begin(), _entries.end(), when,
+            [](Cycles t, const Entry &e) { return t < e.when; });
+        const auto idx =
+            static_cast<std::size_t>(pos - _entries.begin());
+        _entries.insert(pos, {when, amount, 0});
+        _prefixValid = std::min(_prefixValid, idx);
     }
-    auto pos = std::upper_bound(
-        _entries.begin(), _entries.end(), when,
-        [](Cycles t, const Entry &e) { return t < e.when; });
-    _entries.insert(pos, {when, amount});
+    if (_onRecord)
+        _onRecord();
+}
+
+void
+ArrivalLog::refreshPrefix() const
+{
+    std::uint64_t acc =
+        _prefixValid ? _entries[_prefixValid - 1].cum : 0;
+    for (std::size_t i = _prefixValid; i < _entries.size(); ++i) {
+        acc += _entries[i].amount;
+        _entries[i].cum = acc;
+    }
+    _prefixValid = _entries.size();
 }
 
 std::optional<Cycles>
@@ -30,25 +54,26 @@ ArrivalLog::timeOfCumulative(std::uint64_t amount) const
 {
     if (amount == 0)
         return Cycles{0};
-    std::uint64_t acc = 0;
-    for (const auto &e : _entries) {
-        acc += e.amount;
-        if (acc >= amount)
-            return e.when;
-    }
-    return std::nullopt;
+    if (amount > _total)
+        return std::nullopt;
+    refreshPrefix();
+    auto pos = std::lower_bound(
+        _entries.begin(), _entries.end(), amount,
+        [](const Entry &e, std::uint64_t a) { return e.cum < a; });
+    T3D_ASSERT(pos != _entries.end(), "prefix sum inconsistent");
+    return pos->when;
 }
 
 std::uint64_t
 ArrivalLog::arrivedBy(Cycles when) const
 {
-    std::uint64_t acc = 0;
-    for (const auto &e : _entries) {
-        if (e.when > when)
-            break;
-        acc += e.amount;
-    }
-    return acc;
+    if (_entries.empty() || _entries.front().when > when)
+        return 0;
+    refreshPrefix();
+    auto pos = std::upper_bound(
+        _entries.begin(), _entries.end(), when,
+        [](Cycles t, const Entry &e) { return t < e.when; });
+    return (pos - 1)->cum;
 }
 
 void
@@ -56,23 +81,30 @@ ArrivalLog::consume(std::uint64_t amount)
 {
     T3D_ASSERT(amount <= _total, "consuming more than arrived");
     _total -= amount;
+    std::size_t drop = 0;
     while (amount > 0) {
-        T3D_ASSERT(!_entries.empty(), "arrival log underflow");
-        Entry &front = _entries.front();
+        T3D_ASSERT(drop < _entries.size(), "arrival log underflow");
+        Entry &front = _entries[drop];
         if (front.amount > amount) {
             front.amount -= amount;
             amount = 0;
         } else {
             amount -= front.amount;
-            _entries.erase(_entries.begin());
+            ++drop;
         }
     }
+    if (drop > 0)
+        _entries.erase(_entries.begin(),
+                       _entries.begin() + static_cast<long>(drop));
+    // Entries shifted and/or the front shrank: rebuild on next query.
+    _prefixValid = 0;
 }
 
 void
 ArrivalLog::reset()
 {
     _entries.clear();
+    _prefixValid = 0;
     _total = 0;
 }
 

@@ -7,12 +7,22 @@
  * ArrivalLog records (time, amount) pairs and answers the question
  * "at what time had at least N units arrived?", which is exactly the
  * semantics needed by Split-C's store_sync and by message polling.
+ *
+ * Host-performance notes: entries carry a lazily-maintained prefix
+ * sum of the amounts, so both queries are binary searches instead of
+ * linear scans — store_sync waiters on a node that receives thousands
+ * of store lines pay O(log n) per poll. record() additionally fires
+ * an optional listener so the SPMD executor can wake parked waiters
+ * event-driven instead of polling every log each scheduling step.
+ * Neither structure affects the recorded times: simulated timing is
+ * byte-identical to the naive implementation.
  */
 
 #ifndef T3DSIM_SIM_ARRIVALS_HH
 #define T3DSIM_SIM_ARRIVALS_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -46,19 +56,45 @@ class ArrivalLog
      */
     void consume(std::uint64_t amount);
 
-    /** Drop everything. */
+    /** Drop everything (the listener survives). */
     void reset();
+
+    /**
+     * Install a host-side hook fired after every successful
+     * record(). Used by the SPMD executor for event-driven wakeups;
+     * must not touch simulated state.
+     */
+    void
+    setRecordListener(std::function<void()> listener)
+    {
+        _onRecord = std::move(listener);
+    }
+
+    /** Remove the record() hook. */
+    void clearRecordListener() { _onRecord = nullptr; }
 
   private:
     struct Entry
     {
         Cycles when;
         std::uint64_t amount;
+
+        /**
+         * Cumulative unconsumed amount through this entry. Only
+         * entries below _prefixValid hold a current value; the rest
+         * are filled in by refreshPrefix() on demand.
+         */
+        std::uint64_t cum;
     };
 
+    /** Extend the valid prefix-sum range to the full log. */
+    void refreshPrefix() const;
+
     /** Kept sorted by time; record() inserts in order. */
-    std::vector<Entry> _entries;
+    mutable std::vector<Entry> _entries;
+    mutable std::size_t _prefixValid = 0;
     std::uint64_t _total = 0;
+    std::function<void()> _onRecord;
 };
 
 } // namespace t3dsim

@@ -105,7 +105,8 @@ Scheduler::parkMessageWait(PeId pe)
 void
 Scheduler::completeBarrier(Cycles exit)
 {
-    for (auto &slot : _slots) {
+    for (PeId pe = 0; pe < _slots.size(); ++pe) {
+        Slot &slot = _slots[pe];
         if (slot.state != ProcState::BarrierWait)
             continue;
         Proc &proc = *slot.proc;
@@ -113,14 +114,47 @@ Scheduler::completeBarrier(Cycles exit)
         proc.node().core().charge(_config.endBarrierCycles);
         proc.clearBarrierWait();
         slot.state = ProcState::Ready;
+        markReady(pe);
     }
     _machine.barrier().resetGeneration();
 }
 
 void
-Scheduler::serviceWakeups()
+Scheduler::markReady(PeId pe)
 {
-    for (auto &slot : _slots) {
+    _ready.push_back({_slots[pe].proc->now(), pe});
+    std::push_heap(_ready.begin(), _ready.end());
+}
+
+PeId
+Scheduler::popReady()
+{
+    std::pop_heap(_ready.begin(), _ready.end());
+    const PeId pe = _ready.back().pe;
+    _ready.pop_back();
+    return pe;
+}
+
+void
+Scheduler::queueWakeupCheck(PeId pe)
+{
+    Slot &slot = _slots[pe];
+    if (slot.wakeQueued)
+        return;
+    if (slot.state != ProcState::StoreWait &&
+        slot.state != ProcState::MessageWait)
+        return;
+    slot.wakeQueued = true;
+    _pendingWakeups.push_back(pe);
+}
+
+void
+Scheduler::drainPendingWakeups()
+{
+    for (std::size_t i = 0; i < _pendingWakeups.size(); ++i) {
+        const PeId pe = _pendingWakeups[i];
+        Slot &slot = _slots[pe];
+        slot.wakeQueued = false;
         Proc &proc = *slot.proc;
         switch (slot.state) {
           case ProcState::StoreWait: {
@@ -132,34 +166,54 @@ Scheduler::serviceWakeups()
                 proc.clock().syncTo(*when);
                 proc.node().core().charge(_config.storeSyncPollCycles);
                 slot.state = ProcState::Ready;
+                markReady(pe);
             }
             break;
           }
           case ProcState::MessageWait:
-            if (proc.node().shell().messages().hasMessage())
+            if (proc.node().shell().messages().hasMessage()) {
                 slot.state = ProcState::Ready;
+                markReady(pe);
+            }
             break;
           default:
             break;
         }
     }
+    _pendingWakeups.clear();
 }
 
-int
-Scheduler::pickNext() const
+void
+Scheduler::installHooks()
 {
-    int best = -1;
-    Cycles best_clock = std::numeric_limits<Cycles>::max();
-    for (std::size_t i = 0; i < _slots.size(); ++i) {
-        if (_slots[i].state != ProcState::Ready)
-            continue;
-        const Cycles c = _slots[i].proc->now();
-        if (c < best_clock) {
-            best_clock = c;
-            best = static_cast<int>(i);
-        }
+    for (PeId pe = 0; pe < _slots.size(); ++pe) {
+        _slots[pe].proc->node().setWakeupHooks(
+            [this, pe] { queueWakeupCheck(pe); },
+            [this, pe] { queueWakeupCheck(pe); },
+            [this, pe] { queueWakeupCheck(pe); });
     }
-    return best;
+}
+
+void
+Scheduler::removeHooks()
+{
+    for (auto &slot : _slots)
+        slot.proc->node().clearWakeupHooks();
+}
+
+void
+Scheduler::panicDeadlock(std::size_t done) const
+{
+    std::size_t barrier_waiters = 0, store_waiters = 0, msg_waiters = 0;
+    for (const auto &slot : _slots) {
+        barrier_waiters += slot.state == ProcState::BarrierWait ? 1 : 0;
+        store_waiters += slot.state == ProcState::StoreWait ? 1 : 0;
+        msg_waiters += slot.state == ProcState::MessageWait ? 1 : 0;
+    }
+    T3D_PANIC("SPMD deadlock: ", done, "/", _slots.size(), " done, ",
+              barrier_waiters, " in barrier, ", store_waiters,
+              " in store_sync, ", msg_waiters,
+              " waiting for messages");
 }
 
 std::vector<Cycles>
@@ -168,34 +222,39 @@ Scheduler::run(const ProgramFn &program)
     T3D_ASSERT(!_running, "scheduler re-entered");
     _running = true;
 
-    for (auto &slot : _slots) {
+    // Hooks must come off however we leave (panic paths throw in
+    // tests): the machine outlives this scheduler.
+    struct HookGuard
+    {
+        Scheduler &sched;
+        ~HookGuard() { sched.removeHooks(); }
+    } hook_guard{*this};
+    installHooks();
+
+    _ready.clear();
+    _ready.reserve(_slots.size());
+    _pendingWakeups.clear();
+
+    for (PeId pe = 0; pe < _slots.size(); ++pe) {
+        Slot &slot = _slots[pe];
         slot.task = program(*slot.proc);
         slot.state = ProcState::Ready;
+        slot.wakeQueued = false;
+        markReady(pe);
     }
 
     std::size_t done = 0;
     while (done < _slots.size()) {
-        serviceWakeups();
-        int next = pickNext();
-        if (next < 0) {
+        drainPendingWakeups();
+        if (_ready.empty()) {
             // Nothing runnable and nothing wakeable: deadlock.
-            std::size_t barrier_waiters = 0, store_waiters = 0,
-                msg_waiters = 0;
-            for (const auto &slot : _slots) {
-                barrier_waiters +=
-                    slot.state == ProcState::BarrierWait ? 1 : 0;
-                store_waiters +=
-                    slot.state == ProcState::StoreWait ? 1 : 0;
-                msg_waiters +=
-                    slot.state == ProcState::MessageWait ? 1 : 0;
-            }
-            T3D_PANIC("SPMD deadlock: ", done, "/", _slots.size(),
-                      " done, ", barrier_waiters, " in barrier, ",
-                      store_waiters, " in store_sync, ", msg_waiters,
-                      " waiting for messages");
+            panicDeadlock(done);
         }
 
-        Slot &slot = _slots[static_cast<std::size_t>(next)];
+        const PeId next = popReady();
+        Slot &slot = _slots[next];
+        T3D_ASSERT(slot.state == ProcState::Ready,
+                   "ready heap out of sync with slot ", next);
         auto handle = slot.task.handle();
         handle.resume();
 
@@ -204,10 +263,13 @@ Scheduler::run(const ProgramFn &program)
                 std::rethrow_exception(handle.promise().exception);
             slot.state = ProcState::Done;
             ++done;
+        } else if (slot.state == ProcState::Ready) {
+            // The coroutine suspended but an awaitable left the slot
+            // Ready (woken synchronously): requeue it.
+            markReady(next);
         }
-        // Else: the coroutine suspended; its awaitable already moved
-        // the slot into the right wait state (or Ready if it was
-        // woken synchronously).
+        // Else: the awaitable moved the slot into a wait state; a
+        // hook or completeBarrier will requeue it.
     }
 
     _running = false;

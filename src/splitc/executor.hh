@@ -5,6 +5,17 @@
  * execution). Coroutines suspend only at cross-PE wait points —
  * barriers, store_sync, message receive; every other runtime
  * operation charges the local clock and returns normally.
+ *
+ * Host-performance design (see DESIGN.md "Host performance"): the
+ * runnable set is a binary min-heap keyed by (logical clock, PE), so
+ * selecting the next PE is O(log P); parked PEs are woken
+ * event-driven — ArrivalLog::record and MessageQueue::deliver fire
+ * node hooks that enqueue the affected PE for a wake check after the
+ * current resume — instead of rescanning all P slots per step. Wake
+ * checks run at exactly the point the old polling loop ran them
+ * (between a resume and the next pick), so simulated timing is
+ * bit-identical to the O(P)-scan scheduler; the determinism
+ * regression test pins this.
  */
 
 #ifndef T3DSIM_SPLITC_EXECUTOR_HH
@@ -177,11 +188,45 @@ class Scheduler
     /// @}
 
   private:
-    /** Index of the runnable PE with the smallest clock, or -1. */
-    int pickNext() const;
+    /** Min-heap entry: one Ready PE keyed by its logical clock. */
+    struct ReadyRef
+    {
+        Cycles clock;
+        PeId pe;
 
-    /** Wake parked PEs whose wait condition is now satisfiable. */
-    void serviceWakeups();
+        /** std::push_heap builds a max-heap; invert for a min-heap
+         *  with ties broken toward the lowest PE (the same order the
+         *  old linear scan produced). */
+        bool
+        operator<(const ReadyRef &other) const
+        {
+            if (clock != other.clock)
+                return clock > other.clock;
+            return pe > other.pe;
+        }
+    };
+
+    /** Push @p pe (which just became Ready) onto the ready heap. */
+    void markReady(PeId pe);
+
+    /** Pop the Ready PE with the smallest (clock, pe) key. */
+    PeId popReady();
+
+    /**
+     * Node hook: an arrival or message landed at @p pe. Queues a
+     * wake check to run after the current resume (the point the old
+     * polling scheduler evaluated wait conditions).
+     */
+    void queueWakeupCheck(PeId pe);
+
+    /** Run the queued wake checks, moving satisfied PEs to Ready. */
+    void drainPendingWakeups();
+
+    /** Install / remove the per-node wakeup hooks. */
+    void installHooks();
+    void removeHooks();
+
+    [[noreturn]] void panicDeadlock(std::size_t done) const;
 
     machine::Machine &_machine;
     SplitcConfig _config;
@@ -193,9 +238,19 @@ class Scheduler
         ProcState state = ProcState::Ready;
         std::uint64_t storeTarget = 0;
         bool storeTargetAmLog = false;
+
+        /** A wake check for this PE is queued in _pendingWakeups. */
+        bool wakeQueued = false;
     };
 
     std::vector<Slot> _slots;
+
+    /** Ready PEs, min-heap via std::push_heap/std::pop_heap. */
+    std::vector<ReadyRef> _ready;
+
+    /** PEs with a queued wake check (FIFO). */
+    std::vector<PeId> _pendingWakeups;
+
     bool _running = false;
 };
 

@@ -105,4 +105,104 @@ TEST(ArrivalLog, ResetDropsEverything)
     EXPECT_FALSE(log.timeOfCumulative(1).has_value());
 }
 
+// The prefix sums are computed lazily and must be rebuilt when an
+// out-of-order record lands *after* queries have already validated
+// them (the insert invalidates the suffix from the insertion point).
+TEST(ArrivalLog, OutOfOrderRecordAfterQueryRebuildsPrefix)
+{
+    ArrivalLog log;
+    log.record(10, 4);
+    log.record(30, 4);
+    // Force the prefix to be computed and cached.
+    EXPECT_EQ(log.timeOfCumulative(8).value(), 30u);
+
+    // Insert between the two existing entries; the cached cum for
+    // the t=30 entry is now stale and must be recomputed.
+    log.record(20, 4);
+    EXPECT_EQ(log.totalArrived(), 12u);
+    EXPECT_EQ(log.timeOfCumulative(4).value(), 10u);
+    EXPECT_EQ(log.timeOfCumulative(5).value(), 20u);
+    EXPECT_EQ(log.timeOfCumulative(8).value(), 20u);
+    EXPECT_EQ(log.timeOfCumulative(9).value(), 30u);
+    EXPECT_EQ(log.timeOfCumulative(12).value(), 30u);
+    EXPECT_EQ(log.arrivedBy(20), 8u);
+}
+
+// A record earlier than everything present after queries: the whole
+// prefix is invalidated, not just a suffix.
+TEST(ArrivalLog, RecordBeforeFrontAfterQuery)
+{
+    ArrivalLog log;
+    log.record(50, 2);
+    log.record(60, 2);
+    EXPECT_EQ(log.arrivedBy(55), 2u);
+
+    log.record(5, 2);
+    EXPECT_EQ(log.timeOfCumulative(2).value(), 5u);
+    EXPECT_EQ(log.timeOfCumulative(4).value(), 50u);
+    EXPECT_EQ(log.arrivedBy(5), 2u);
+    EXPECT_EQ(log.arrivedBy(55), 4u);
+}
+
+// Phased use: consume what arrived, then wait for the next batch —
+// the pattern of a ghost-exchange loop using consuming waits.
+TEST(ArrivalLog, ConsumeThenWaitPhases)
+{
+    ArrivalLog log;
+    // Phase 1: two producers deliver 8 bytes each.
+    log.record(100, 8);
+    log.record(110, 8);
+    EXPECT_EQ(log.timeOfCumulative(16).value(), 110u);
+    log.consume(16);
+    EXPECT_EQ(log.totalArrived(), 0u);
+    EXPECT_FALSE(log.timeOfCumulative(1).has_value());
+
+    // Phase 2: waiting for 16 fresh bytes must not be satisfied by
+    // phase-1 history.
+    log.record(200, 8);
+    EXPECT_FALSE(log.timeOfCumulative(16).has_value());
+    log.record(210, 8);
+    EXPECT_EQ(log.timeOfCumulative(16).value(), 210u);
+    EXPECT_EQ(log.timeOfCumulative(1).value(), 200u);
+}
+
+TEST(ArrivalLog, ConsumeAfterQueryThenMoreRecords)
+{
+    ArrivalLog log;
+    log.record(10, 4);
+    log.record(20, 4);
+    EXPECT_EQ(log.arrivedBy(20), 8u);
+    log.consume(6);
+    // 2 units remain from the t=20 entry.
+    EXPECT_EQ(log.totalArrived(), 2u);
+    EXPECT_EQ(log.timeOfCumulative(2).value(), 20u);
+    log.record(30, 4);
+    EXPECT_EQ(log.timeOfCumulative(6).value(), 30u);
+    EXPECT_EQ(log.arrivedBy(25), 2u);
+}
+
+// The record listener fires once per effective record and survives
+// reset(); a cleared listener stops firing.
+TEST(ArrivalLog, RecordListener)
+{
+    ArrivalLog log;
+    int fired = 0;
+    log.setRecordListener([&] { ++fired; });
+
+    log.record(10, 4);
+    EXPECT_EQ(fired, 1);
+    log.record(5, 4); // out-of-order still fires
+    EXPECT_EQ(fired, 2);
+    log.record(7, 0); // zero-amount records are ignored entirely
+    EXPECT_EQ(fired, 2);
+
+    log.reset();
+    log.record(20, 1);
+    EXPECT_EQ(fired, 3);
+
+    log.clearRecordListener();
+    log.record(30, 1);
+    EXPECT_EQ(fired, 3);
+}
+
 } // namespace
