@@ -28,11 +28,13 @@ AlphaCore::loadBytes(Addr va, void *dst, std::size_t len)
     const Addr pa = paOfVa(va);
     if (_dcache.probe(pa)) {
         ++_cacheHits;
+        T3D_COUNT(_ctr, l1Hits);
         _clock.advance(_config.loadHitCycles);
         _dcache.read(pa, dst, len);
         return;
     }
     ++_cacheMisses;
+    T3D_COUNT(_ctr, l1Misses);
 
     // A pending write-buffer entry for this line must reach memory
     // before the miss can be serviced; the load stalls on the drain.

@@ -21,6 +21,7 @@
 #include "alpha/write_buffer.hh"
 #include "mem/dram.hh"
 #include "mem/storage.hh"
+#include "probes/counters.hh"
 #include "sim/clock.hh"
 #include "sim/types.hh"
 
@@ -126,6 +127,9 @@ class AlphaCore
     mem::Storage &storage() { return _storage; }
     mem::DramController &dram() { return _dram; }
 
+    /** Attach (or detach, with nullptr) the node's event counters. */
+    void setCounters(probes::PerfCounters *ctr) { _ctr = ctr; }
+
     /** Statistics. */
     std::uint64_t loads() const { return _loads; }
     std::uint64_t stores() const { return _stores; }
@@ -147,6 +151,8 @@ class AlphaCore
     mem::DramController &_dram;
     mem::Storage &_storage;
     DirectMappedCache *_l2;
+
+    probes::PerfCounters *_ctr = nullptr;
 
     std::uint32_t _storeTag = 0;
 

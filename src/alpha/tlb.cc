@@ -36,6 +36,7 @@ Tlb::accessScan(std::uint64_t page)
     }
 
     ++_misses;
+    T3D_COUNT(_ctr, tlbMisses);
     victim->valid = true;
     victim->page = page;
     victim->lastUse = _useCounter;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "probes/counters.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::alpha
@@ -74,6 +75,9 @@ class Tlb
     /** Drop all entries. */
     void flush();
 
+    /** Attach (or detach, with nullptr) the node's event counters. */
+    void setCounters(probes::PerfCounters *ctr) { _ctr = ctr; }
+
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
     const Config &config() const { return _config; }
@@ -108,6 +112,8 @@ class Tlb
      *  pages) skip the associative scan. Guarded by a page/valid
      *  re-check, so it is a pure host-side shortcut. */
     unsigned _lastHit = ~0u;
+
+    probes::PerfCounters *_ctr = nullptr;
 
     std::uint64_t _useCounter = 0;
     std::uint64_t _hits = 0;

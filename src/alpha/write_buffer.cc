@@ -55,6 +55,7 @@ WriteBuffer::retireCompleted(Cycles now)
             break;
         if (front.deferCommit)
             _port.commitLine(front.lineAddr, front.data.data(), front.mask);
+        T3D_COUNT(_ctr, wbRetires);
         _slots.pop_front();
     }
 }
@@ -78,6 +79,7 @@ WriteBuffer::write(Cycles now, Addr pa, const void *src, std::size_t len,
             for (std::size_t i = 0; i < len; ++i)
                 slot.mask |= 1u << (off + i);
             ++_merges;
+            T3D_COUNT(_ctr, wbMerges);
             return _config.issueCycles;
         }
     }
@@ -94,6 +96,10 @@ WriteBuffer::write(Cycles now, Addr pa, const void *src, std::size_t len,
         }
         when = std::max(when, _slots.front().completion);
         retireCompleted(when);
+    }
+    if (when != now) {
+        T3D_COUNT(_ctr, wbStalls);
+        T3D_COUNT_ADD(_ctr, wbStallCycles, when - now);
     }
     _stallCycles += when - now;
 

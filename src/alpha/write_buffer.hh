@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "probes/counters.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::alpha
@@ -152,6 +153,9 @@ class WriteBuffer
     /** Entries currently occupied (after lazy advance to @p now). */
     unsigned occupancy(Cycles now);
 
+    /** Attach (or detach, with nullptr) the node's event counters. */
+    void setCounters(probes::PerfCounters *ctr) { _ctr = ctr; }
+
     /** Total merges performed (statistic). */
     std::uint64_t merges() const { return _merges; }
 
@@ -198,6 +202,8 @@ class WriteBuffer
      *  (meaningful only while _unscheduled > 0; may be stale-low
      *  after a forced issue, which merely costs one extra scan). */
     Cycles _earliestDue = 0;
+
+    probes::PerfCounters *_ctr = nullptr;
 
     std::uint64_t _merges = 0;
     Cycles _stallCycles = 0;

@@ -15,6 +15,7 @@
 #include "alpha/tlb.hh"
 #include "alpha/write_buffer.hh"
 #include "mem/dram.hh"
+#include "probes/counters.hh"
 #include "shell/config.hh"
 #include "sim/types.hh"
 
@@ -52,6 +53,14 @@ struct MachineConfig
 
     /** Torus hop cost: 2-3 cycles per hop (§4.2). */
     Cycles hopCycles = 2;
+
+    /**
+     * Observability switches (counters, shell-event trace, dump
+     * paths). Off by default; the Machine constructor additionally
+     * honours the T3DSIM_COUNTERS / T3DSIM_TRACE environment
+     * variables. See docs/OBSERVABILITY.md.
+     */
+    probes::ObsConfig observe{};
 
     /** Canonical T3D preset. */
     static MachineConfig

@@ -175,8 +175,25 @@ Node::remoteDramView(PeId requester)
                  .emplace(requester,
                           mem::DramController(_config.dram))
                  .first;
+        // Remote requesters' accesses are events of this memory.
+        if (_countersOn)
+            it->second.setCounters(&_counters);
     }
     return it->second;
+}
+
+void
+Node::enableObservability(bool counters_on, probes::TraceSink *trace)
+{
+    _countersOn = counters_on;
+    probes::PerfCounters *ctr = countersIfEnabled();
+    _core.setCounters(ctr);
+    _tlb.setCounters(ctr);
+    _wb.setCounters(ctr);
+    _dram.setCounters(ctr);
+    for (auto &[requester, view] : _remoteDramViews)
+        view.setCounters(ctr);
+    _shell.setObservability(ctr, trace);
 }
 
 Cycles

@@ -32,6 +32,8 @@
 #include "machine/config.hh"
 #include "mem/dram.hh"
 #include "mem/storage.hh"
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/ports.hh"
 #include "shell/shell.hh"
 #include "sim/arrivals.hh"
@@ -161,6 +163,27 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
     /** Remove all executor wakeup hooks. */
     void clearWakeupHooks();
 
+    /** @name Observability */
+    /// @{
+    /** This node's event record (zeros unless counters are on). */
+    probes::PerfCounters &counters() { return _counters; }
+    const probes::PerfCounters &counters() const { return _counters; }
+
+    /** The record when counting is enabled, nullptr otherwise. */
+    probes::PerfCounters *
+    countersIfEnabled()
+    {
+        return _countersOn ? &_counters : nullptr;
+    }
+
+    /**
+     * Wire the counter record and the machine-wide trace sink
+     * (either may be disabled/null) into the core, TLB, write
+     * buffer, DRAM, and shell. Called by the Machine constructor.
+     */
+    void enableObservability(bool counters_on, probes::TraceSink *trace);
+    /// @}
+
   private:
     /**
      * Resolve the destination PE of an annexed virtual address at
@@ -205,6 +228,9 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
     std::unordered_map<PeId, mem::DramController> _remoteDramViews;
 
     Addr _allocNext = allocBase;
+
+    probes::PerfCounters _counters;
+    bool _countersOn = false;
 };
 
 } // namespace t3dsim::machine

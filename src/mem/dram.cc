@@ -51,6 +51,10 @@ DramController::access(Cycles when, Addr addr)
 
     const bool off_page = state.openRow != row;
     const bool same_bank = _anyAccess && _lastBank == bank;
+    if (off_page)
+        T3D_COUNT(_ctr, dramPageMisses);
+    else
+        T3D_COUNT(_ctr, dramPageHits);
 
     Cycles cost = _config.pageHitCycles;
     if (off_page) {

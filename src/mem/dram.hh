@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "probes/counters.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::mem
@@ -98,6 +99,13 @@ class DramController
 
     const DramConfig &config() const { return _config; }
 
+    /**
+     * Attach (or detach, with nullptr) the owning node's event
+     * counters. Per-requester remote views bump the *owning* node's
+     * record: the counters describe this memory, whoever drives it.
+     */
+    void setCounters(probes::PerfCounters *ctr) { _ctr = ctr; }
+
     /** Forget open-row and occupancy state (test support). */
     void reset();
 
@@ -122,6 +130,8 @@ class DramController
     /** Bank used by the most recent access (any bank). */
     std::uint32_t _lastBank = ~std::uint32_t{0};
     bool _anyAccess = false;
+
+    probes::PerfCounters *_ctr = nullptr;
 };
 
 } // namespace t3dsim::mem

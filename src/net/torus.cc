@@ -57,4 +57,34 @@ Torus::peAt(const Coord &c) const
     return c.x + _dx * (c.y + _dy * c.z);
 }
 
+void
+Torus::recordRoute(PeId src, PeId dst) const
+{
+    if (_linkTraversals.empty())
+        _linkTraversals.assign(std::size_t{numPes()} * 3, 0);
+
+    Coord cur = coordOf(src);
+    const Coord goal = coordOf(dst);
+
+    // Dimension-order (x, then y, then z), shorter ring direction;
+    // ties break toward increasing coordinate, matching hops().
+    const std::uint32_t dims[3] = {_dx, _dy, _dz};
+    std::uint32_t *cur_c[3] = {&cur.x, &cur.y, &cur.z};
+    const std::uint32_t goal_c[3] = {goal.x, goal.y, goal.z};
+
+    for (unsigned d = 0; d < 3; ++d) {
+        const std::uint32_t dim = dims[d];
+        while (*cur_c[d] != goal_c[d]) {
+            const std::uint32_t fwd =
+                (goal_c[d] + dim - *cur_c[d]) % dim;
+            const bool up = fwd <= dim - fwd;
+            // The link is owned by the node the flit leaves.
+            _linkTraversals[std::size_t{peAt(cur)} * 3 + d] += 1;
+            _dimTraversals[d] += 1;
+            *cur_c[d] = up ? (*cur_c[d] + 1) % dim
+                           : (*cur_c[d] + dim - 1) % dim;
+        }
+    }
+}
+
 } // namespace t3dsim::net

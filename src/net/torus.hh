@@ -88,6 +88,43 @@ class Torus
     std::uint32_t dimY() const { return _dy; }
     std::uint32_t dimZ() const { return _dz; }
 
+    /** Per-dimension hop counts of the src -> dst route. */
+    std::array<std::uint32_t, 3>
+    dimHops(PeId src, PeId dst) const
+    {
+        const Coord a = coordOf(src);
+        const Coord b = coordOf(dst);
+        return {ringDistance(a.x, b.x, _dx), ringDistance(a.y, b.y, _dy),
+                ringDistance(a.z, b.z, _dz)};
+    }
+
+    /**
+     * Observability hook: walk the dimension-order route from
+     * @p src to @p dst and account each link traversed. Host-side
+     * statistics only — routing latency never depends on this, so
+     * it is const with mutable counters. Called by the machine only
+     * when observability is enabled (it walks the route hop by hop).
+     */
+    void recordRoute(PeId src, PeId dst) const;
+
+    /** Total recorded traversals along each dimension. */
+    const std::array<std::uint64_t, 3> &
+    dimTraversals() const
+    {
+        return _dimTraversals;
+    }
+
+    /**
+     * Recorded traversals of the link leaving node n along dimension
+     * d, at index n * 3 + d (both ring directions combined). Empty
+     * until the first recordRoute().
+     */
+    const std::vector<std::uint64_t> &
+    linkTraversals() const
+    {
+        return _linkTraversals;
+    }
+
   private:
     /** Ring distance along one dimension of extent @p dim. */
     static std::uint32_t
@@ -104,6 +141,12 @@ class Torus
 
     /** Precomputed coordOf for every PE. */
     std::vector<Coord> _coords;
+
+    /** @name Route statistics (observability; host-side only) */
+    /// @{
+    mutable std::array<std::uint64_t, 3> _dimTraversals{};
+    mutable std::vector<std::uint64_t> _linkTraversals;
+    /// @}
 };
 
 } // namespace t3dsim::net

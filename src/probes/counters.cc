@@ -1,0 +1,125 @@
+#include "probes/counters.hh"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace t3dsim::probes
+{
+
+const std::array<CounterInfo, PerfCounters::numCounters> &
+PerfCounters::infos()
+{
+    static const std::array<CounterInfo, numCounters> table = {{
+#define T3D_PERF_COUNTER_INFO(name, unit, site, paper)                      \
+    CounterInfo{#name, unit, site, paper},
+        T3D_PERF_COUNTERS(T3D_PERF_COUNTER_INFO)
+#undef T3D_PERF_COUNTER_INFO
+    }};
+    return table;
+}
+
+PerfCounters
+aggregate(const std::vector<PerfCounters> &per_pe)
+{
+    PerfCounters total;
+    for (const auto &c : per_pe)
+        total += c;
+    return total;
+}
+
+namespace
+{
+
+void
+writeCounterObject(std::ostream &os, const PerfCounters &c,
+                   const char *indent)
+{
+    const auto &infos = PerfCounters::infos();
+    os << "{";
+    for (std::size_t i = 0; i < PerfCounters::numCounters; ++i) {
+        os << (i ? "," : "") << "\n"
+           << indent << "  \"" << infos[i].name << "\": " << c.value(i);
+    }
+    os << "\n" << indent << "}";
+}
+
+} // namespace
+
+void
+writeCountersJson(std::ostream &os,
+                  const std::vector<PerfCounters> &per_pe,
+                  const TorusLinkStats *torus)
+{
+    os << "{\n  \"schema\": \"t3dsim-counters-v1\",\n"
+       << "  \"pes\": " << per_pe.size() << ",\n  \"total\": ";
+    writeCounterObject(os, aggregate(per_pe), "  ");
+    os << ",\n  \"per_pe\": [";
+    for (std::size_t pe = 0; pe < per_pe.size(); ++pe) {
+        os << (pe ? "," : "") << "\n    ";
+        writeCounterObject(os, per_pe[pe], "    ");
+    }
+    os << "\n  ]";
+    if (torus) {
+        os << ",\n  \"torus\": {\n    \"dims\": [" << torus->dx << ", "
+           << torus->dy << ", " << torus->dz << "],\n"
+           << "    \"dim_traversals\": [" << torus->dimTraversals[0]
+           << ", " << torus->dimTraversals[1] << ", "
+           << torus->dimTraversals[2] << "],\n"
+           << "    \"link_traversals\": [";
+        for (std::size_t i = 0; i < torus->linkTraversals.size(); ++i)
+            os << (i ? ", " : "") << torus->linkTraversals[i];
+        os << "]\n  }";
+    }
+    os << "\n}\n";
+}
+
+void
+writeCountersCsv(std::ostream &os, const std::vector<PerfCounters> &per_pe)
+{
+    const auto &infos = PerfCounters::infos();
+    os << "pe";
+    for (const auto &info : infos)
+        os << "," << info.name;
+    os << "\n";
+    for (std::size_t pe = 0; pe < per_pe.size(); ++pe) {
+        os << pe;
+        for (std::size_t i = 0; i < PerfCounters::numCounters; ++i)
+            os << "," << per_pe[pe].value(i);
+        os << "\n";
+    }
+    const PerfCounters total = aggregate(per_pe);
+    os << "total";
+    for (std::size_t i = 0; i < PerfCounters::numCounters; ++i)
+        os << "," << total.value(i);
+    os << "\n";
+}
+
+ObsConfig
+ObsConfig::fromEnv(ObsConfig base)
+{
+    const auto apply = [](const char *var, bool &flag, std::string &path) {
+        const char *v = std::getenv(var);
+        if (!v)
+            return;
+        const std::string s{v};
+        if (s.empty() || s == "0") {
+            flag = false;
+            return;
+        }
+        flag = true;
+        if (s != "1")
+            path = s;
+    };
+    apply("T3DSIM_COUNTERS", base.counters, base.countersPath);
+    apply("T3DSIM_TRACE", base.trace, base.tracePath);
+    // A trace destination implies the channel writes somewhere even
+    // when only the flag form ("1") was given.
+    if (base.trace && base.tracePath.empty())
+        base.tracePath = "t3dsim.trace.json";
+    if (base.counters && base.countersPath.empty() &&
+        std::getenv("T3DSIM_COUNTERS"))
+        base.countersPath = "t3dsim.counters.json";
+    return base;
+}
+
+} // namespace t3dsim::probes

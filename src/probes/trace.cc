@@ -1,0 +1,87 @@
+#include "probes/trace.hh"
+
+#include <fstream>
+#include <ostream>
+
+namespace t3dsim::probes
+{
+
+namespace
+{
+
+/**
+ * Print a cycle count as Chrome's "ts" unit (microseconds) with
+ * picosecond precision, using only integer arithmetic so the output
+ * is reproducible across hosts and compilers.
+ */
+void
+writeUs(std::ostream &os, Cycles c)
+{
+    const std::uint64_t ps = c * psPerCycle;
+    const std::uint64_t whole = ps / 1000000;
+    std::uint64_t frac = ps % 1000000;
+    os << whole << '.';
+    for (std::uint64_t digit = 100000; digit >= 1; digit /= 10)
+        os << frac / digit % 10;
+}
+
+} // namespace
+
+void
+TraceSink::writeJson(std::ostream &os) const
+{
+    os << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+
+    // Track metadata: one named thread per PE under one process.
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"name\": \"t3dsim\"}}";
+    for (std::uint32_t pe = 0; pe < _numPes; ++pe) {
+        os << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+              "\"tid\": "
+           << pe << ", \"args\": {\"name\": \"PE " << pe << "\"}}";
+    }
+
+    for (const Event &e : _events) {
+        os << ",\n{\"name\": \"" << e.name << "\", ";
+        switch (e.kind) {
+          case Kind::Span:
+            os << "\"cat\": \"shell\", \"ph\": \"X\", \"pid\": 0, "
+                  "\"tid\": "
+               << e.tid << ", \"ts\": ";
+            writeUs(os, e.start);
+            os << ", \"dur\": ";
+            writeUs(os, e.end - e.start);
+            if (e.argName)
+                os << ", \"args\": {\"" << e.argName << "\": " << e.arg
+                   << "}";
+            break;
+          case Kind::Instant:
+            os << "\"cat\": \"shell\", \"ph\": \"i\", \"s\": \"t\", "
+                  "\"pid\": 0, \"tid\": "
+               << e.tid << ", \"ts\": ";
+            writeUs(os, e.start);
+            break;
+          case Kind::Counter:
+            os << "\"ph\": \"C\", \"pid\": 0, \"ts\": ";
+            writeUs(os, e.start);
+            os << ", \"args\": {\"traversals\": " << e.arg << "}";
+            break;
+        }
+        os << "}";
+    }
+
+    os << "\n],\n\"otherData\": {\"droppedEvents\": " << _dropped
+       << "}\n}\n";
+}
+
+bool
+TraceSink::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return bool(os);
+}
+
+} // namespace t3dsim::probes

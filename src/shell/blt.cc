@@ -21,11 +21,23 @@ Cycles
 BlockTransferEngine::invoke()
 {
     ++_transfers;
+    T3D_COUNT(_ctr, bltTransfers);
+    const Cycles t0 = _core.clock().now();
     // The OS call serializes the processor: pending stores drain and
     // the full startup overhead is charged.
     _core.mb();
     _core.charge(_config.bltStartupCycles);
+    T3D_COUNT_ADD(_ctr, bltSetupCycles, _core.clock().now() - t0);
+    T3D_TRACE(_trace,
+              span(_localPe, "blt_setup", t0, _core.clock().now()));
     return _core.clock().now();
+}
+
+void
+BlockTransferEngine::noteTransfer(const char *name, Cycles start)
+{
+    T3D_COUNT_ADD(_ctr, bltTransferCycles, _lastCompletion - start);
+    T3D_TRACE(_trace, span(_localPe, name, start, _lastCompletion));
 }
 
 Cycles
@@ -61,6 +73,7 @@ BlockTransferEngine::startRead(PeId src, Addr remote_offset,
     }
 
     _lastCompletion = start + transit + streamCycles(len, true);
+    noteTransfer("blt_read", start);
     return _lastCompletion;
 }
 
@@ -80,6 +93,7 @@ BlockTransferEngine::startWrite(PeId dst, Addr remote_offset,
                                                 len);
 
     _lastCompletion = start + transit + streamCycles(len, false);
+    noteTransfer("blt_write", start);
     return _lastCompletion;
 }
 
@@ -110,6 +124,7 @@ BlockTransferEngine::startStridedRead(PeId src, Addr remote_offset,
     _lastCompletion = start + transit +
         streamCycles(count * elem_bytes, true) +
         Cycles{count} * _config.bltStridedElemCycles;
+    noteTransfer("blt_read", start);
     return _lastCompletion;
 }
 
@@ -139,6 +154,7 @@ BlockTransferEngine::startStridedWrite(PeId dst, Addr remote_offset,
     _lastCompletion = start + transit +
         streamCycles(count * elem_bytes, false) +
         Cycles{count} * _config.bltStridedElemCycles;
+    noteTransfer("blt_write", start);
     return _lastCompletion;
 }
 

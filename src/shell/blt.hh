@@ -23,6 +23,8 @@
 #include <cstdint>
 
 #include "alpha/core.hh"
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/config.hh"
 #include "shell/ports.hh"
 #include "sim/types.hh"
@@ -74,9 +76,21 @@ class BlockTransferEngine
 
     std::uint64_t transfersStarted() const { return _transfers; }
 
+    /** Attach the local node's counters and the machine trace sink. */
+    void
+    setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace)
+    {
+        _ctr = ctr;
+        _trace = trace;
+    }
+
   private:
     /** Common startup accounting; returns the DMA start time. */
     Cycles invoke();
+
+    /** Account the streaming phase of a transfer ending at
+     *  _lastCompletion. */
+    void noteTransfer(const char *name, Cycles start);
 
     /** Streaming cycles for @p len bytes in direction @p is_read. */
     Cycles streamCycles(std::size_t len, bool is_read) const;
@@ -87,6 +101,9 @@ class BlockTransferEngine
     alpha::AlphaCore &_core;
     Cycles _lastCompletion = 0;
     std::uint64_t _transfers = 0;
+
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
 };
 
 } // namespace t3dsim::shell

@@ -47,6 +47,8 @@ MessageQueue::dequeue(Cycles now, bool handler_mode)
     Cycles done = std::max(now, msg.arrival) + _config.msgInterruptCycles;
     if (handler_mode)
         done += _config.msgHandlerCycles;
+    T3D_COUNT(_ctr, msgInterrupts);
+    T3D_TRACE(_trace, span(_pe, "msg_recv", msg.arrival, done));
     return {msg, done};
 }
 

@@ -19,6 +19,8 @@
 #include <functional>
 #include <optional>
 
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/config.hh"
 #include "sim/types.hh"
 
@@ -76,11 +78,28 @@ class MessageQueue
     /** Remove the deliver() hook. */
     void clearDeliveryListener() { _onDeliver = nullptr; }
 
+    /**
+     * Attach the receiving node's counters and the machine trace
+     * sink. The queue doesn't know its PE, so the shell passes it.
+     */
+    void
+    setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace,
+                     PeId pe)
+    {
+        _ctr = ctr;
+        _trace = trace;
+        _pe = pe;
+    }
+
   private:
     const ShellConfig &_config;
     std::deque<Message> _queue;
     std::uint64_t _delivered = 0;
     std::function<void()> _onDeliver;
+
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
+    PeId _pe = 0;
 };
 
 } // namespace t3dsim::shell

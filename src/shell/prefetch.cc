@@ -20,8 +20,10 @@ PrefetchQueue::issue(PeId dst, Addr offset)
                "prefetch issued into a full queue (hardware would "
                "corrupt the FIFO)");
     ++_issued;
+    T3D_COUNT(_ctr, prefetchIssues);
 
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     clock.advance(_config.prefetchIssueCycles);
 
     // The request leaves through the shell's injection channel;
@@ -57,6 +59,8 @@ PrefetchQueue::issue(PeId dst, Addr offset)
     if (!_fifo.empty())
         slot.arrival = std::max(slot.arrival, _fifo.back().arrival);
     _fifo.push_back(slot);
+    T3D_TRACE(_trace, span(_localPe, "prefetch_issue", t0, clock.now(),
+                           "dst", dst));
 }
 
 std::uint64_t
@@ -64,13 +68,16 @@ PrefetchQueue::pop()
 {
     T3D_ASSERT(!_fifo.empty(), "pop from an empty prefetch queue");
     ++_popped;
+    T3D_COUNT(_ctr, prefetchDrains);
 
     Slot slot = _fifo.front();
     _fifo.pop_front();
 
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     clock.syncTo(slot.arrival);
     clock.advance(_config.prefetchPopCycles);
+    T3D_TRACE(_trace, span(_localPe, "prefetch_pop", t0, clock.now()));
     return slot.data;
 }
 

@@ -22,6 +22,8 @@
 #include <deque>
 
 #include "alpha/core.hh"
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/config.hh"
 #include "shell/ports.hh"
 #include "sim/types.hh"
@@ -71,6 +73,14 @@ class PrefetchQueue
     std::uint64_t issued() const { return _issued; }
     std::uint64_t popped() const { return _popped; }
 
+    /** Attach the local node's counters and the machine trace sink. */
+    void
+    setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace)
+    {
+        _ctr = ctr;
+        _trace = trace;
+    }
+
   private:
     struct Slot
     {
@@ -87,6 +97,9 @@ class PrefetchQueue
     Cycles _injectFree = 0;
     std::uint64_t _issued = 0;
     std::uint64_t _popped = 0;
+
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
 };
 
 } // namespace t3dsim::shell

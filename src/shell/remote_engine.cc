@@ -22,8 +22,10 @@ RemoteEngine::read(PeId dst, Addr offset, Addr pa, ReadMode mode)
     T3D_ASSERT(dst != _localPe,
                "remote engine asked to read from the local node");
     ++_readsPerformed;
+    T3D_COUNT(_ctr, remoteReads);
 
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     const Cycles transit = _machine.transitCycles(_localPe, dst);
     RemoteMemoryPort &port = _machine.remoteMemory(dst);
 
@@ -54,6 +56,7 @@ RemoteEngine::read(PeId dst, Addr offset, Addr pa, ReadMode mode)
     }
 
     clock.advanceTo(done);
+    T3D_TRACE(_trace, span(_localPe, "remote_read", t0, done, "dst", dst));
     return value;
 }
 
@@ -66,6 +69,7 @@ RemoteEngine::injectWriteLine(Cycles ready, PeId dst, Addr line_offset,
     T3D_ASSERT(dst != _localPe,
                "remote engine asked to write to the local node");
     ++_writesInjected;
+    T3D_COUNT(_ctr, remoteWriteLines);
 
     Cycles start = std::max(ready, _injectFree);
     // Backpressure: at most writeWindow writes between injection and
@@ -100,6 +104,8 @@ RemoteEngine::injectWriteLine(Cycles ready, PeId dst, Addr line_offset,
     _acks.record(ack, 1);
     _lastAck = std::max(_lastAck, ack);
 
+    T3D_TRACE(_trace, span(_localPe, "remote_write", start, remote_done,
+                           "dst", dst));
     return injected;
 }
 
@@ -127,6 +133,7 @@ std::uint64_t
 RemoteEngine::swap(PeId dst, Addr offset, std::uint64_t new_value)
 {
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     const Cycles transit = _machine.transitCycles(_localPe, dst);
     RemoteMemoryPort &port = _machine.remoteMemory(dst);
 
@@ -134,13 +141,18 @@ RemoteEngine::swap(PeId dst, Addr offset, std::uint64_t new_value)
     const Cycles remote_done = port.serviceSwap(
         clock.now() + transit, offset, new_value, old_value, _localPe);
     clock.advanceTo(remote_done + transit + _config.swapFixedCycles);
+    T3D_TRACE(_trace,
+              span(_localPe, "swap", t0, clock.now(), "dst", dst));
     return old_value;
 }
 
 std::uint64_t
 RemoteEngine::fetchInc(PeId dst, unsigned reg)
 {
+    T3D_COUNT(_ctr, fetchIncRoundTrips);
+
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     const Cycles transit = _machine.transitCycles(_localPe, dst);
     RemoteMemoryPort &port = _machine.remoteMemory(dst);
 
@@ -148,17 +160,24 @@ RemoteEngine::fetchInc(PeId dst, unsigned reg)
     const Cycles remote_done =
         port.serviceFetchInc(clock.now() + transit, reg, old_value);
     clock.advanceTo(remote_done + transit + _config.fetchIncFixedCycles);
+    T3D_TRACE(_trace,
+              span(_localPe, "fetch_inc", t0, clock.now(), "dst", dst));
     return old_value;
 }
 
 void
 RemoteEngine::sendMessage(PeId dst, const std::uint64_t words[4])
 {
+    T3D_COUNT(_ctr, msgSends);
+
     Clock &clock = _core.clock();
+    const Cycles t0 = clock.now();
     clock.advance(_config.msgSendCycles);
     const Cycles arrive =
         clock.now() + _machine.transitCycles(_localPe, dst);
     _machine.remoteMemory(dst).serviceMessage(arrive, words);
+    T3D_TRACE(_trace,
+              span(_localPe, "msg_send", t0, clock.now(), "dst", dst));
 }
 
 } // namespace t3dsim::shell

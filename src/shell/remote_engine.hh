@@ -19,6 +19,8 @@
 #include <deque>
 
 #include "alpha/core.hh"
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/annex.hh"
 #include "shell/config.hh"
 #include "shell/ports.hh"
@@ -90,6 +92,14 @@ class RemoteEngine
     /** Total remote reads performed (statistic). */
     std::uint64_t readsPerformed() const { return _readsPerformed; }
 
+    /** Attach the local node's counters and the machine trace sink. */
+    void
+    setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace)
+    {
+        _ctr = ctr;
+        _trace = trace;
+    }
+
   private:
     const ShellConfig &_config;
     PeId _localPe;
@@ -107,6 +117,9 @@ class RemoteEngine
     Cycles _lastAck = 0;
     std::uint64_t _writesInjected = 0;
     std::uint64_t _readsPerformed = 0;
+
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
 };
 
 } // namespace t3dsim::shell

@@ -17,8 +17,23 @@ Shell::setAnnex(unsigned idx, const AnnexEntry &entry)
 {
     // Updated at user level with store-conditional at a measured
     // cost typical of off-chip access, 23 cycles (§3.2).
+    T3D_COUNT(_ctr, annexFaults);
     _core.charge(_config.annexUpdateCycles);
     _annex.set(idx, entry);
+    T3D_TRACE(_trace,
+              instant(_localPe, "annex_update", _core.clock().now()));
+}
+
+void
+Shell::setObservability(probes::PerfCounters *ctr,
+                        probes::TraceSink *trace)
+{
+    _ctr = ctr;
+    _trace = trace;
+    _remote.setObservability(ctr, trace);
+    _prefetch.setObservability(ctr, trace);
+    _blt.setObservability(ctr, trace);
+    _messages.setObservability(ctr, trace, _localPe);
 }
 
 } // namespace t3dsim::shell

@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "alpha/core.hh"
+#include "probes/counters.hh"
+#include "probes/trace.hh"
 #include "shell/annex.hh"
 #include "shell/blt.hh"
 #include "shell/config.hh"
@@ -55,6 +57,15 @@ class Shell
     const ShellConfig &config() const { return _config; }
     PeId localPe() const { return _localPe; }
 
+    /**
+     * Attach the node's event counters and the machine-wide trace
+     * sink to every shell mechanism (both may be null). Called once
+     * by the node when observability is enabled; recording never
+     * advances simulated time.
+     */
+    void setObservability(probes::PerfCounters *ctr,
+                          probes::TraceSink *trace);
+
   private:
     ShellConfig _config;
     PeId _localPe;
@@ -67,6 +78,9 @@ class Shell
     MessageQueue _messages;
     FetchIncRegisters _fetchInc;
     std::uint64_t _swapRegister = 0;
+
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
 };
 
 } // namespace t3dsim::shell

@@ -113,6 +113,7 @@ Scheduler::completeBarrier(Cycles exit)
         proc.clock().syncTo(exit);
         proc.node().core().charge(_config.endBarrierCycles);
         proc.clearBarrierWait();
+        proc.noteBarrierComplete();
         slot.state = ProcState::Ready;
         markReady(pe);
     }
@@ -278,6 +279,10 @@ Scheduler::run(const ProgramFn &program)
     // backing storage reflects all completed stores.
     for (auto &slot : _slots)
         slot.proc->node().mb();
+
+    // Dump the counter/trace reports configured for this run (no-op
+    // with observability off).
+    _machine.flushObservability();
 
     std::vector<Cycles> finish;
     finish.reserve(_slots.size());

@@ -31,7 +31,8 @@ constexpr Addr amSlotBytes = 40;
 Proc::Proc(Scheduler &sched, machine::Machine &machine,
            machine::Node &node, const SplitcConfig &config)
     : _sched(sched), _machine(machine), _node(node), _config(config),
-      _annexCurrent(0)
+      _annexCurrent(0), _ctr(node.countersIfEnabled()),
+      _trace(machine.trace())
 {
     // The §4.5 fix: byte writes into shared data are shipped to the
     // owner and performed locally, making them atomic.
@@ -64,8 +65,10 @@ Proc::annexFor(PeId dst, shell::ReadMode mode)
     if (_config.annexPolicy == AnnexPolicy::SingleReload) {
         // Compare against the remembered contents of register 1.
         core.chargeRegOps(2);
-        if (_annexValid && _annexCurrent == dst && _annexMode == mode)
+        if (_annexValid && _annexCurrent == dst && _annexMode == mode) {
+            T3D_COUNT(_ctr, annexHits);
             return 1;
+        }
         _node.shell().setAnnex(1, {dst, mode});
         _annexCurrent = dst;
         _annexMode = mode;
@@ -85,6 +88,8 @@ Proc::annexFor(PeId dst, shell::ReadMode mode)
         _node.shell().setAnnex(idx, {dst, mode});
         _annexTable[idx] = dst;
         ++_annexUpdates;
+    } else {
+        T3D_COUNT(_ctr, annexHits);
     }
     return idx;
 }
@@ -179,8 +184,10 @@ Proc::getU64(GlobalAddr src, Addr local_dst)
     const unsigned idx = annexFor(src.pe());
 
     // The hardware FIFO holds 16; when full, drain before issuing.
-    if (_getTable.size() >= _node.shell().config().prefetchSlots)
+    if (_getTable.size() >= _node.shell().config().prefetchSlots) {
+        T3D_COUNT(_ctr, prefetchFullStalls);
         drainGets();
+    }
 
     _node.fetchHint(vaFor(idx, src.local()));
     _node.core().charge(_config.getTableCycles);
@@ -344,6 +351,8 @@ Proc::startBarrier()
     _node.waitRemoteWrites();
     _putsOutstanding = false;
     _node.core().charge(_config.startBarrierCycles);
+    T3D_COUNT(_ctr, barriers);
+    _barrierArrive = now();
 
     auto &bn = _machine.barrier();
     _barrierGen = bn.generation();
@@ -374,7 +383,15 @@ Proc::barrierReady()
     _barrierActive = false;
     _node.clock().syncTo(bn.lastExitTime());
     _node.core().charge(_config.endBarrierCycles);
+    noteBarrierComplete();
     return true;
+}
+
+void
+Proc::noteBarrierComplete()
+{
+    T3D_COUNT_ADD(_ctr, barrierWaitCycles, now() - _barrierArrive);
+    T3D_TRACE(_trace, span(pe(), "barrier", _barrierArrive, now()));
 }
 
 // ---------------------------------------------------------------------
@@ -574,10 +591,14 @@ Proc::fetchInc(PeId dst, unsigned reg)
 {
     if (dst == pe()) {
         // Local fetch&increment of the shell register.
+        T3D_COUNT(_ctr, fetchIncRoundTrips);
+        const Cycles t0 = now();
         std::uint64_t old_value = 0;
         const Cycles done =
             _node.serviceFetchInc(now(), reg, old_value);
         _node.clock().advanceTo(done + 5);
+        T3D_TRACE(_trace,
+                  span(pe(), "fetch_inc", t0, now(), "dst", dst));
         return old_value;
     }
     return _node.shell().remote().fetchInc(dst, reg);

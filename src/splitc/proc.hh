@@ -213,6 +213,14 @@ class Proc
     /** Scheduler wake path: the parked end-barrier has completed. */
     void clearBarrierWait() { _barrierActive = false; }
 
+    /**
+     * Observability: account the barrier that just completed on this
+     * PE (wait cycles since startBarrier and a trace span). Called on
+     * whichever path finished the barrier — barrierReady() or the
+     * scheduler's completeBarrier() wake.
+     */
+    void noteBarrierComplete();
+
     /** Store-sync bookkeeping. */
     std::uint64_t storeWatermark() const { return _storeWatermark; }
     void advanceStoreWatermark(std::uint64_t b) { _storeWatermark += b; }
@@ -272,6 +280,13 @@ class Proc
     /** Fuzzy-barrier state: generation we arrived in. */
     std::uint32_t _barrierGen = 0;
     bool _barrierActive = false;
+
+    /** When this PE performed its start-barrier (observability). */
+    Cycles _barrierArrive = 0;
+
+    /** Node counters (null when disabled) and machine trace sink. */
+    probes::PerfCounters *_ctr = nullptr;
+    probes::TraceSink *_trace = nullptr;
 
     /** BLT completion pending from a split-phase bulkGet/bulkPut. */
     Cycles _bltPending = 0;
