@@ -8,16 +8,23 @@
  * Besides the google-benchmark micro cases, the binary always runs an
  * end-to-end EM3D-sweep throughput case (all six Figure 9 versions)
  * at 32 and 256 PEs and writes the result to BENCH_sim_speed.json so
- * successive PRs can track the host-performance trajectory. Pass
- * --sweep-only to skip the micro benchmarks.
+ * successive PRs can track the host-performance trajectory. Each PE
+ * count is measured with the sequential scheduler (the baseline,
+ * host_threads = 0 in the report) and with the host-parallel
+ * scheduler at 1, 2, 4 and hardware_concurrency() worker threads;
+ * every parallel run must reproduce the baseline's sim_cycles and
+ * checksum exactly — a divergence is a scheduler bug and fails the
+ * binary. Pass --sweep-only to skip the micro benchmarks.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -134,6 +141,10 @@ sweepConfig()
 struct SweepOutcome
 {
     std::uint32_t pes = 0;
+
+    /** Scheduler worker threads: 0 = sequential baseline. */
+    unsigned hostThreads = 0;
+
     double hostSeconds = 0;
 
     /** Sum over the six versions of the run's elapsed model time. */
@@ -144,17 +155,27 @@ struct SweepOutcome
      *  host retires simulated PE-cycles (the gem5 "host rate"). */
     double simPeCyclesPerHostSecond = 0;
 
+    /** Baseline host time / this host time (1.0 for the baseline). */
+    double speedupVsSequential = 1.0;
+
     /** Sum of per-version checksums: a determinism anchor and a
      *  guard against the work being optimized away. */
     double checksum = 0;
 };
 
 SweepOutcome
-runSweep(std::uint32_t pes)
+runSweep(std::uint32_t pes, unsigned host_threads)
 {
     const em3d::Config cfg = sweepConfig();
+    splitc::SplitcConfig scfg;
+    // 0 = sequential baseline; force it even if T3DSIM_HOST_THREADS
+    // is set in the environment, so the speedup denominator is real.
+    scfg.hostThreads =
+        host_threads == 0 ? -1 : static_cast<int>(host_threads);
+
     SweepOutcome out;
     out.pes = pes;
+    out.hostThreads = host_threads;
 
     // One untimed warmup pass (page cache, allocator), then best of
     // three timed passes: the 32-PE case finishes in milliseconds,
@@ -166,7 +187,7 @@ runSweep(std::uint32_t pes)
         double checksum = 0;
         const auto t0 = std::chrono::steady_clock::now();
         for (em3d::Version v : em3d::allVersions) {
-            const em3d::Result r = em3d::run(cfg, v, pes);
+            const em3d::Result r = em3d::run(cfg, v, pes, scfg);
             sim_cycles += r.elapsed;
             checksum += r.checksum;
         }
@@ -187,6 +208,20 @@ runSweep(std::uint32_t pes)
     return out;
 }
 
+/** Worker-thread counts to sweep: 1, 2, 4, and the host's core
+ *  count, deduplicated and sorted. */
+std::vector<unsigned>
+threadSweep()
+{
+    std::vector<unsigned> sweep = {1, 2, 4};
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores > 0)
+        sweep.push_back(cores);
+    std::sort(sweep.begin(), sweep.end());
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    return sweep;
+}
+
 bool
 writeSweepJson(const std::vector<SweepOutcome> &cases,
                const std::string &path)
@@ -198,6 +233,8 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
     os.precision(17);
     os << "{\n"
        << "  \"bench\": \"sim_speed_em3d_sweep\",\n"
+       << "  \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n"
        << "  \"config\": {\"nodes_per_pe\": " << cfg.nodesPerPe
        << ", \"degree\": " << cfg.degree
        << ", \"remote_fraction\": " << cfg.remoteFraction
@@ -207,10 +244,12 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const SweepOutcome &c = cases[i];
         os << "    {\"pes\": " << c.pes
+           << ", \"host_threads\": " << c.hostThreads
            << ", \"host_seconds\": " << c.hostSeconds
            << ", \"sim_cycles\": " << c.simCycles
            << ", \"sim_pe_cycles_per_host_second\": "
            << c.simPeCyclesPerHostSecond
+           << ", \"speedup_vs_sequential\": " << c.speedupVsSequential
            << ", \"checksum\": " << c.checksum << "}"
            << (i + 1 < cases.size() ? "," : "") << "\n";
     }
@@ -239,20 +278,45 @@ main(int argc, char **argv)
         benchmark::RunSpecifiedBenchmarks();
     }
 
+    bool diverged = false;
     std::vector<SweepOutcome> cases;
     for (std::uint32_t pes : {32u, 256u}) {
-        cases.push_back(runSweep(pes));
-        const SweepOutcome &c = cases.back();
-        std::cout << "em3d_sweep pes=" << c.pes
-                  << " host_s=" << c.hostSeconds
-                  << " sim_cycles=" << c.simCycles
-                  << " sim_pe_cycles/s=" << c.simPeCyclesPerHostSecond
-                  << " checksum=" << c.checksum << "\n";
+        const SweepOutcome seq = runSweep(pes, 0);
+        cases.push_back(seq);
+        for (unsigned threads : threadSweep()) {
+            SweepOutcome par = runSweep(pes, threads);
+            par.speedupVsSequential = seq.hostSeconds / par.hostSeconds;
+            // The parallel scheduler claims bit-identical timing:
+            // anything else is a bug, not noise.
+            if (par.simCycles != seq.simCycles ||
+                par.checksum != seq.checksum) {
+                std::cerr << "error: parallel run diverged at pes="
+                          << pes << " host_threads=" << threads
+                          << ": sim_cycles " << par.simCycles
+                          << " vs " << seq.simCycles << ", checksum "
+                          << par.checksum << " vs " << seq.checksum
+                          << "\n";
+                diverged = true;
+            }
+            cases.push_back(par);
+        }
+        for (const SweepOutcome &c : cases) {
+            if (c.pes != pes)
+                continue;
+            std::cout << "em3d_sweep pes=" << c.pes
+                      << " host_threads=" << c.hostThreads
+                      << " host_s=" << c.hostSeconds
+                      << " sim_cycles=" << c.simCycles
+                      << " sim_pe_cycles/s="
+                      << c.simPeCyclesPerHostSecond
+                      << " speedup=" << c.speedupVsSequential
+                      << " checksum=" << c.checksum << "\n";
+        }
     }
     if (!writeSweepJson(cases, "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;
     }
     std::cout << "wrote BENCH_sim_speed.json\n";
-    return 0;
+    return diverged ? 1 : 0;
 }

@@ -71,6 +71,10 @@ Machine::observeTransit(PeId src, PeId dst) const
 shell::RemoteMemoryPort &
 Machine::remoteMemory(PeId pe)
 {
+    if (_remoteRouter) {
+        if (shell::RemoteMemoryPort *port = _remoteRouter->route(pe))
+            return *port;
+    }
     return node(pe);
 }
 

@@ -23,6 +23,21 @@
 namespace t3dsim::machine
 {
 
+/**
+ * Redirects remote-memory accesses while installed (see
+ * Machine::setRemoteRouter). The host-parallel scheduler uses this
+ * to interpose proxies on cross-shard accesses; route() returning
+ * null means "use the destination node directly".
+ */
+class RemoteAccessRouter
+{
+  public:
+    virtual ~RemoteAccessRouter() = default;
+
+    /** Port override for accesses to @p dst, or null for the node. */
+    virtual shell::RemoteMemoryPort *route(PeId dst) = 0;
+};
+
 /** A whole T3D. */
 class Machine : public shell::MachinePort
 {
@@ -43,6 +58,16 @@ class Machine : public shell::MachinePort
     shell::RemoteMemoryPort &remoteMemory(PeId pe) override;
     std::uint32_t numPes() const override { return _config.numPes; }
     /// @}
+
+    /**
+     * Install (or clear, with null) a remote-access router. While a
+     * router is installed every remoteMemory() lookup consults it
+     * first. Owned by the caller; must outlive its installation.
+     */
+    void setRemoteRouter(RemoteAccessRouter *router)
+    {
+        _remoteRouter = router;
+    }
 
     /** @name Observability (see docs/OBSERVABILITY.md) */
     /// @{
@@ -89,6 +114,8 @@ class Machine : public shell::MachinePort
 
     /** True when transitCycles must account routes (either channel). */
     bool _transitObs = false;
+
+    RemoteAccessRouter *_remoteRouter = nullptr;
 };
 
 } // namespace t3dsim::machine

@@ -20,8 +20,15 @@ Node::Node(const MachineConfig &config, PeId pe,
       _dcache(config.dcacheBytes, config.dcacheLineBytes),
       _wb(config.writeBuffer, *this),
       _core(config.core, _clock, _tlb, _dcache, _wb, _dram, _storage),
-      _shell(config.shell, pe, machine, _core)
+      _shell(config.shell, pe, machine, _core),
+      _channels(machine.numPes())
 {
+}
+
+Node::~Node()
+{
+    for (auto &slot : _channels)
+        delete slot.load(std::memory_order_relaxed);
 }
 
 Addr
@@ -166,20 +173,23 @@ Node::swap(Addr va, std::uint64_t new_value)
     return _shell.remote().swap(entry.pe, offsetOfPa(pa), new_value);
 }
 
-mem::DramController &
-Node::remoteDramView(PeId requester)
+Node::RequesterChannel &
+Node::channelFor(PeId requester)
 {
-    auto it = _remoteDramViews.find(requester);
-    if (it == _remoteDramViews.end()) {
-        it = _remoteDramViews
-                 .emplace(requester,
-                          mem::DramController(_config.dram))
-                 .first;
+    std::atomic<RequesterChannel *> &slot = _channels[requester];
+    RequesterChannel *channel = slot.load(std::memory_order_relaxed);
+    if (!channel) [[unlikely]] {
+        channel = new RequesterChannel(_config.dram);
         // Remote requesters' accesses are events of this memory.
         if (_countersOn)
-            it->second.setCounters(&_counters);
+            channel->dram.setCounters(&_counters);
+        // Release-publish: a slot is only ever written from its own
+        // requester's host-execution context, so there is no store
+        // contention; the release pairs with enableObservability's
+        // (serial-phase) scan.
+        slot.store(channel, std::memory_order_release);
     }
-    return it->second;
+    return *channel;
 }
 
 void
@@ -191,8 +201,10 @@ Node::enableObservability(bool counters_on, probes::TraceSink *trace)
     _tlb.setCounters(ctr);
     _wb.setCounters(ctr);
     _dram.setCounters(ctr);
-    for (auto &[requester, view] : _remoteDramViews)
-        view.setCounters(ctr);
+    for (auto &slot : _channels) {
+        if (RequesterChannel *ch = slot.load(std::memory_order_acquire))
+            ch->dram.setCounters(ctr);
+    }
     _shell.setObservability(ctr, trace);
 }
 
@@ -200,8 +212,19 @@ Cycles
 Node::serviceRead(Cycles arrive, Addr offset, void *dst, std::size_t len,
                   PeId requester)
 {
-    auto access = remoteDramView(requester).access(arrive, offset);
+    auto access = channelFor(requester).dram.access(arrive, offset);
     _storage.readBlock(offset, dst, len);
+    const Cycles extra = access.offPage
+        ? _config.shell.remoteOffPageExtraCycles : Cycles{0};
+    return access.complete + extra;
+}
+
+Cycles
+Node::serviceReadConcurrent(Cycles arrive, Addr offset, void *dst,
+                            std::size_t len, PeId requester)
+{
+    auto access = channelFor(requester).dram.access(arrive, offset);
+    _storage.readBlockConcurrent(offset, dst, len);
     const Cycles extra = access.offPage
         ? _config.shell.remoteOffPageExtraCycles : Cycles{0};
     return access.complete + extra;
@@ -211,10 +234,10 @@ Cycles
 Node::serviceWrite(Cycles arrive, Addr offset, const void *src,
                    std::size_t len, bool cache_inval, PeId requester)
 {
-    Cycles &port_free = _remoteWritePortFree[requester];
-    const Cycles start = std::max(arrive, port_free);
-    auto access = remoteDramView(requester).access(start, offset);
-    port_free = access.offPage
+    RequesterChannel &channel = channelFor(requester);
+    const Cycles start = std::max(arrive, channel.writePortFree);
+    auto access = channel.dram.access(start, offset);
+    channel.writePortFree = access.offPage
         ? access.complete
         : access.start + _config.dram.pipelinedBusyCycles;
     _storage.writeBlock(offset, src, len);
@@ -229,31 +252,45 @@ Node::serviceWrite(Cycles arrive, Addr offset, const void *src,
 }
 
 Cycles
+Node::writeMaskedTiming(Cycles arrive, Addr line_offset, PeId requester)
+{
+    RequesterChannel &channel = channelFor(requester);
+    const Cycles start = std::max(arrive, channel.writePortFree);
+    auto access = channel.dram.access(start, line_offset);
+    channel.writePortFree = access.offPage
+        ? access.complete
+        : access.start + _config.dram.pipelinedBusyCycles;
+    const Cycles extra = access.offPage
+        ? _config.shell.remoteOffPageExtraCycles : Cycles{0};
+    return access.complete + extra;
+}
+
+void
+Node::applyMaskedLine(Addr line_offset, const std::uint8_t *data,
+                      std::uint32_t byte_mask, bool cache_inval)
+{
+    _storage.writeMasked(line_offset, data, byte_mask,
+                         alpha::wbLineBytes);
+    if (cache_inval)
+        _dcache.invalidate(line_offset);
+}
+
+Cycles
 Node::serviceWriteMasked(Cycles arrive, Addr line_offset,
                          const std::uint8_t *data,
                          std::uint32_t byte_mask, bool cache_inval,
                          PeId requester)
 {
-    Cycles &port_free = _remoteWritePortFree[requester];
-    const Cycles start = std::max(arrive, port_free);
-    auto access = remoteDramView(requester).access(start, line_offset);
-    port_free = access.offPage
-        ? access.complete
-        : access.start + _config.dram.pipelinedBusyCycles;
-    _storage.writeMasked(line_offset, data, byte_mask,
-                         alpha::wbLineBytes);
-    if (cache_inval)
-        _dcache.invalidate(line_offset);
-    const Cycles extra = access.offPage
-        ? _config.shell.remoteOffPageExtraCycles : Cycles{0};
-    return access.complete + extra;
+    const Cycles done = writeMaskedTiming(arrive, line_offset, requester);
+    applyMaskedLine(line_offset, data, byte_mask, cache_inval);
+    return done;
 }
 
 Cycles
 Node::serviceSwap(Cycles arrive, Addr offset, std::uint64_t new_value,
                   std::uint64_t &old_value, PeId requester)
 {
-    auto access = remoteDramView(requester).access(arrive, offset);
+    auto access = channelFor(requester).dram.access(arrive, offset);
     old_value = _storage.readU64(offset);
     _storage.writeU64(offset, new_value);
     _dcache.invalidate(offset);
@@ -297,6 +334,12 @@ void
 Node::bulkReadRaw(Addr offset, void *dst, std::size_t len)
 {
     _storage.readBlock(offset, dst, len);
+}
+
+void
+Node::bulkReadRawConcurrent(Addr offset, void *dst, std::size_t len)
+{
+    _storage.readBlockConcurrent(offset, dst, len);
 }
 
 void

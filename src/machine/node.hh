@@ -20,9 +20,11 @@
 #ifndef T3DSIM_MACHINE_NODE_HH
 #define T3DSIM_MACHINE_NODE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "alpha/address.hh"
 #include "alpha/cache.hh"
@@ -52,6 +54,7 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
 
     Node(const Node &) = delete;
     Node &operator=(const Node &) = delete;
+    ~Node();
 
     /** @name Program-facing timed memory operations */
     /// @{
@@ -126,6 +129,35 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
     void bulkReadRaw(Addr offset, void *dst, std::size_t len) override;
     void bulkWriteRaw(Addr offset, const void *src,
                       std::size_t len) override;
+    /// @}
+
+    /**
+     * @name Split service paths for the host-parallel scheduler
+     *
+     * A cross-shard remote write needs its completion time
+     * synchronously (the source's ack/backpressure bookkeeping uses
+     * it) but must not touch the destination's shared state (storage,
+     * dcache) until the window merge. The timing half only touches
+     * the per-requester channel — which no host thread but the
+     * requester's ever accesses — so it is safe in-window; the data
+     * half is applied at the merge. serviceWriteMasked() ==
+     * writeMaskedTiming() + applyMaskedLine(), in that order.
+     */
+    /// @{
+    /** Channel-only timing of a masked line write (no data motion). */
+    Cycles writeMaskedTiming(Cycles arrive, Addr line_offset,
+                             PeId requester);
+
+    /** Data half of a masked line write: storage + cache invalidate. */
+    void applyMaskedLine(Addr line_offset, const std::uint8_t *data,
+                         std::uint32_t byte_mask, bool cache_inval);
+
+    /** serviceRead without the owner-thread storage cache. */
+    Cycles serviceReadConcurrent(Cycles arrive, Addr offset, void *dst,
+                                 std::size_t len, PeId requester);
+
+    /** bulkReadRaw without the owner-thread storage cache. */
+    void bulkReadRawConcurrent(Addr offset, void *dst, std::size_t len);
     /// @}
 
     /** @name alpha::DrainPort (write-buffer drain routing) */
@@ -210,22 +242,37 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
     ArrivalLog _amArrivals;
 
     /**
-     * Per-requester timing view of this node's DRAM (page/bank
-     * state of that requester's own access stream). See
-     * shell::RemoteMemoryPort for why contention between requesters
-     * is deliberately not modeled.
+     * Per-requester timing view of this node's memory system: the
+     * DRAM page/bank state of that requester's own access stream
+     * (see shell::RemoteMemoryPort for why contention between
+     * requesters is deliberately not modeled) and the write-port
+     * busy-until time. The memory controller services one
+     * requester's network writes through a single port: a row miss
+     * stalls that stream for the full access, an in-page write only
+     * for the column cycle — what makes 16 KB-stride non-blocking
+     * writes visibly slower (§5.3).
+     *
+     * Stored as a flat array indexed by requester — a plain load on
+     * the remote-access hot path (the old per-op hash lookups showed
+     * up at 256 PEs) — with atomically published lazily-allocated
+     * entries. A channel is only ever touched from the requester's
+     * own host-execution context, so the parallel scheduler can
+     * compute write timing in-window without racing the owner.
      */
-    mem::DramController &remoteDramView(PeId requester);
+    struct RequesterChannel
+    {
+        explicit RequesterChannel(const mem::DramConfig &config)
+            : dram(config)
+        {
+        }
 
-    /**
-     * The memory controller services one requester's network writes
-     * through a single port: a row miss stalls that stream for the
-     * full access, an in-page write only for the column cycle. This
-     * is what makes 16 KB-stride non-blocking writes visibly slower
-     * (§5.3).
-     */
-    std::unordered_map<PeId, Cycles> _remoteWritePortFree;
-    std::unordered_map<PeId, mem::DramController> _remoteDramViews;
+        mem::DramController dram;
+        Cycles writePortFree = 0;
+    };
+
+    RequesterChannel &channelFor(PeId requester);
+
+    std::vector<std::atomic<RequesterChannel *>> _channels;
 
     Addr _allocNext = allocBase;
 

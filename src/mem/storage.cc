@@ -8,14 +8,17 @@ namespace t3dsim::mem
 {
 
 Storage::Storage(Addr limit)
-    : _limit(limit)
+    : _limit(limit),
+      _slots((limit + chunkBytes - 1) / chunkBytes)
 {
 }
 
 Storage::Storage(Storage &&other) noexcept
-    : _limit(other._limit), _chunks(std::move(other._chunks)),
+    : _limit(other._limit), _slots(std::move(other._slots)),
+      _chunksAllocated(other._chunksAllocated),
       _cachedKey(other._cachedKey), _cachedChunk(other._cachedChunk)
 {
+    other._chunksAllocated = 0;
     other._cachedKey = noChunk;
     other._cachedChunk = nullptr;
 }
@@ -24,14 +27,26 @@ Storage &
 Storage::operator=(Storage &&other) noexcept
 {
     if (this != &other) {
+        destroyChunks();
         _limit = other._limit;
-        _chunks = std::move(other._chunks);
+        _slots = std::move(other._slots);
+        _chunksAllocated = other._chunksAllocated;
         _cachedKey = other._cachedKey;
         _cachedChunk = other._cachedChunk;
+        other._chunksAllocated = 0;
         other._cachedKey = noChunk;
         other._cachedChunk = nullptr;
     }
     return *this;
+}
+
+Storage::~Storage() { destroyChunks(); }
+
+void
+Storage::destroyChunks()
+{
+    for (auto &slot : _slots)
+        delete slot.load(std::memory_order_relaxed);
 }
 
 void
@@ -48,15 +63,18 @@ Storage::chunkFor(Addr addr)
     const Addr key = addr / chunkBytes;
     if (key == _cachedKey)
         return *_cachedChunk;
-    auto it = _chunks.find(key);
-    if (it == _chunks.end()) {
-        auto chunk = std::make_unique<Chunk>();
+    Chunk *chunk = _slots[key].load(std::memory_order_relaxed);
+    if (!chunk) {
+        chunk = new Chunk();
         chunk->fill(0);
-        it = _chunks.emplace(key, std::move(chunk)).first;
+        // Release-publish so a concurrent reader that observes the
+        // pointer also observes the zero fill.
+        _slots[key].store(chunk, std::memory_order_release);
+        ++_chunksAllocated;
     }
     _cachedKey = key;
-    _cachedChunk = it->second.get();
-    return *_cachedChunk;
+    _cachedChunk = chunk;
+    return *chunk;
 }
 
 const Storage::Chunk *
@@ -65,12 +83,12 @@ Storage::chunkIfPresent(Addr addr) const
     const Addr key = addr / chunkBytes;
     if (key == _cachedKey)
         return _cachedChunk;
-    auto it = _chunks.find(key);
-    if (it == _chunks.end())
+    Chunk *chunk = _slots[key].load(std::memory_order_relaxed);
+    if (!chunk)
         return nullptr;
     _cachedKey = key;
-    _cachedChunk = it->second.get();
-    return _cachedChunk;
+    _cachedChunk = chunk;
+    return chunk;
 }
 
 std::uint8_t
@@ -157,6 +175,25 @@ Storage::readBlock(Addr addr, void *dst, std::size_t len) const
         std::size_t off = addr % chunkBytes;
         std::size_t take = std::min(len, chunkBytes - off);
         const Chunk *chunk = chunkIfPresent(addr);
+        if (chunk)
+            std::memcpy(out, chunk->data() + off, take);
+        else
+            std::memset(out, 0, take);
+        out += take;
+        addr += take;
+        len -= take;
+    }
+}
+
+void
+Storage::readBlockConcurrent(Addr addr, void *dst, std::size_t len) const
+{
+    checkRange(addr, len);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        std::size_t off = addr % chunkBytes;
+        std::size_t take = std::min(len, chunkBytes - off);
+        const Chunk *chunk = chunkIfPresentConcurrent(addr);
         if (chunk)
             std::memcpy(out, chunk->data() + off, take);
         else

@@ -12,19 +12,22 @@
  * Host-performance notes: consecutive accesses overwhelmingly hit
  * the same chunk (stride probes, EM3D ghost fills, line commits), so
  * a one-entry last-chunk cache answers the chunk lookup with a tag
- * compare before falling back to the hash map, and the word-sized
- * accessors take a direct single-chunk path instead of the generic
- * block-copy loop. Purely host-side: simulated timing is charged by
- * the callers and unaffected.
+ * compare, backed by a flat array of chunk slots indexed directly by
+ * addr/chunkBytes (no hashing). The slot array holds atomic chunk
+ * pointers published with release semantics, which makes the
+ * lock-free readBlockConcurrent() path safe for the host-parallel
+ * scheduler: a worker thread on another shard may read a node's
+ * storage while the owner allocates new chunks. Purely host-side:
+ * simulated timing is charged by the callers and unaffected.
  */
 
 #ifndef T3DSIM_MEM_STORAGE_HH
 #define T3DSIM_MEM_STORAGE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -42,6 +45,7 @@ class Storage
     Storage &operator=(const Storage &) = delete;
     Storage(Storage &&other) noexcept;
     Storage &operator=(Storage &&other) noexcept;
+    ~Storage();
 
     /** One-past-the-last valid byte address. */
     Addr limit() const { return _limit; }
@@ -60,6 +64,18 @@ class Storage
     /** Copy @p len bytes out of storage into @p dst. */
     void readBlock(Addr addr, void *dst, std::size_t len) const;
 
+    /**
+     * readBlock without the one-entry cache: safe to call from a
+     * host thread other than the owner's while the owner allocates
+     * chunks (chunk pointers are published with release semantics
+     * and never freed or moved once materialized). Byte-level
+     * visibility of concurrently written data is the caller's
+     * responsibility — the parallel scheduler only routes reads here
+     * whose producing writes are ordered by simulated synchronization
+     * (and therefore by the window-barrier host synchronization).
+     */
+    void readBlockConcurrent(Addr addr, void *dst, std::size_t len) const;
+
     /** Copy @p len bytes from @p src into storage. */
     void writeBlock(Addr addr, const void *src, std::size_t len);
 
@@ -73,7 +89,7 @@ class Storage
                      std::uint64_t mask, std::size_t len);
 
     /** Number of chunks materialized so far (test support). */
-    std::size_t chunksAllocated() const { return _chunks.size(); }
+    std::size_t chunksAllocated() const { return _chunksAllocated; }
 
     /** Bytes per lazily-allocated chunk. */
     static constexpr std::size_t chunkBytes = 64 * KiB;
@@ -90,13 +106,25 @@ class Storage
     /** Chunk holding @p addr, or nullptr if never written. */
     const Chunk *chunkIfPresent(Addr addr) const;
 
+    /** Slot lookup without touching the one-entry cache. */
+    const Chunk *
+    chunkIfPresentConcurrent(Addr addr) const
+    {
+        return _slots[addr / chunkBytes].load(std::memory_order_acquire);
+    }
+
     void checkRange(Addr addr, std::size_t len) const;
+    void destroyChunks();
 
     Addr _limit;
-    std::unordered_map<Addr, std::unique_ptr<Chunk>> _chunks;
+
+    /** One slot per possible chunk; null until materialized. */
+    std::vector<std::atomic<Chunk *>> _slots;
+    std::size_t _chunksAllocated = 0;
 
     /** One-entry chunk cache (chunk pointers are stable: chunks are
-     *  never freed or reallocated once materialized). */
+     *  never freed or reallocated once materialized). Owner-thread
+     *  only: concurrent readers go through the *Concurrent path. */
     mutable Addr _cachedKey = noChunk;
     mutable Chunk *_cachedChunk = nullptr;
 };

@@ -96,6 +96,18 @@ struct SplitcConfig
      * diagnoses it instead of silently losing the message.
      */
     std::uint32_t amQueueSlots = 256;
+
+    /**
+     * Host worker threads for the scheduler (a host-side knob; it
+     * never changes simulated timing — the parallel scheduler is
+     * bit-identical to the sequential one for race-free programs).
+     *   0  (default) consult T3DSIM_HOST_THREADS; unset or 0 means
+     *      the sequential scheduler
+     *   N >= 1 host-parallel scheduler with N worker threads
+     *   -1 force the sequential scheduler even if the environment
+     *      variable is set (benchmark baselines use this)
+     */
+    int hostThreads = 0;
 };
 
 } // namespace t3dsim::splitc

@@ -1,8 +1,10 @@
 #include "splitc/executor.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
+#include "splitc/parallel_executor.hh"
 #include "splitc/proc.hh"
 #include "sim/logging.hh"
 
@@ -103,6 +105,26 @@ Scheduler::parkMessageWait(PeId pe)
 }
 
 void
+Scheduler::barrierArrive(PeId pe, Cycles when)
+{
+    auto exit = _machine.barrier().arrive(pe, when);
+    if (exit)
+        completeBarrier(*exit);
+}
+
+void
+Scheduler::recordStoreArrival(PeId dst, Cycles when, std::uint64_t bytes)
+{
+    _machine.node(dst).storeArrivals().record(when, bytes);
+}
+
+void
+Scheduler::recordAmArrival(PeId dst, Cycles when, std::uint64_t count)
+{
+    _machine.node(dst).amArrivals().record(when, count);
+}
+
+void
 Scheduler::completeBarrier(Cycles exit)
 {
     for (PeId pe = 0; pe < _slots.size(); ++pe) {
@@ -149,38 +171,45 @@ Scheduler::queueWakeupCheck(PeId pe)
     _pendingWakeups.push_back(pe);
 }
 
+bool
+Scheduler::tryWake(PeId pe)
+{
+    Slot &slot = _slots[pe];
+    slot.wakeQueued = false;
+    Proc &proc = *slot.proc;
+    switch (slot.state) {
+      case ProcState::StoreWait: {
+        auto &log = slot.storeTargetAmLog
+            ? proc.node().amArrivals()
+            : proc.node().storeArrivals();
+        auto when = log.timeOfCumulative(slot.storeTarget);
+        if (when) {
+            proc.clock().syncTo(*when);
+            proc.node().core().charge(_config.storeSyncPollCycles);
+            slot.state = ProcState::Ready;
+            markReady(pe);
+            return true;
+        }
+        break;
+      }
+      case ProcState::MessageWait:
+        if (proc.node().shell().messages().hasMessage()) {
+            slot.state = ProcState::Ready;
+            markReady(pe);
+            return true;
+        }
+        break;
+      default:
+        break;
+    }
+    return false;
+}
+
 void
 Scheduler::drainPendingWakeups()
 {
-    for (std::size_t i = 0; i < _pendingWakeups.size(); ++i) {
-        const PeId pe = _pendingWakeups[i];
-        Slot &slot = _slots[pe];
-        slot.wakeQueued = false;
-        Proc &proc = *slot.proc;
-        switch (slot.state) {
-          case ProcState::StoreWait: {
-            auto &log = slot.storeTargetAmLog
-                ? proc.node().amArrivals()
-                : proc.node().storeArrivals();
-            auto when = log.timeOfCumulative(slot.storeTarget);
-            if (when) {
-                proc.clock().syncTo(*when);
-                proc.node().core().charge(_config.storeSyncPollCycles);
-                slot.state = ProcState::Ready;
-                markReady(pe);
-            }
-            break;
-          }
-          case ProcState::MessageWait:
-            if (proc.node().shell().messages().hasMessage()) {
-                slot.state = ProcState::Ready;
-                markReady(pe);
-            }
-            break;
-          default:
-            break;
-        }
-    }
+    for (std::size_t i = 0; i < _pendingWakeups.size(); ++i)
+        tryWake(_pendingWakeups[i]);
     _pendingWakeups.clear();
 }
 
@@ -217,6 +246,49 @@ Scheduler::panicDeadlock(std::size_t done) const
               " waiting for messages");
 }
 
+bool
+Scheduler::resumeSlot(PeId pe)
+{
+    Slot &slot = _slots[pe];
+    T3D_ASSERT(slot.state == ProcState::Ready,
+               "ready heap out of sync with slot ", pe);
+    auto handle = slot.task.handle();
+    handle.resume();
+
+    if (handle.done()) {
+        slot.state = ProcState::Done;
+        return true;
+    }
+    if (slot.state == ProcState::Ready) {
+        // The coroutine suspended but an awaitable left the slot
+        // Ready (woken synchronously): requeue it.
+        markReady(pe);
+    }
+    // Else: the awaitable moved the slot into a wait state; a hook
+    // or completeBarrier will requeue it.
+    return false;
+}
+
+void
+Scheduler::mainLoop()
+{
+    while (_done < _slots.size()) {
+        drainPendingWakeups();
+        if (_ready.empty()) {
+            // Nothing runnable and nothing wakeable: deadlock.
+            panicDeadlock(_done);
+        }
+
+        const PeId next = popReady();
+        if (resumeSlot(next)) {
+            auto handle = _slots[next].task.handle();
+            if (handle.promise().exception)
+                std::rethrow_exception(handle.promise().exception);
+            ++_done;
+        }
+    }
+}
+
 std::vector<Cycles>
 Scheduler::run(const ProgramFn &program)
 {
@@ -235,6 +307,7 @@ Scheduler::run(const ProgramFn &program)
     _ready.clear();
     _ready.reserve(_slots.size());
     _pendingWakeups.clear();
+    _done = 0;
 
     for (PeId pe = 0; pe < _slots.size(); ++pe) {
         Slot &slot = _slots[pe];
@@ -244,34 +317,7 @@ Scheduler::run(const ProgramFn &program)
         markReady(pe);
     }
 
-    std::size_t done = 0;
-    while (done < _slots.size()) {
-        drainPendingWakeups();
-        if (_ready.empty()) {
-            // Nothing runnable and nothing wakeable: deadlock.
-            panicDeadlock(done);
-        }
-
-        const PeId next = popReady();
-        Slot &slot = _slots[next];
-        T3D_ASSERT(slot.state == ProcState::Ready,
-                   "ready heap out of sync with slot ", next);
-        auto handle = slot.task.handle();
-        handle.resume();
-
-        if (handle.done()) {
-            if (handle.promise().exception)
-                std::rethrow_exception(handle.promise().exception);
-            slot.state = ProcState::Done;
-            ++done;
-        } else if (slot.state == ProcState::Ready) {
-            // The coroutine suspended but an awaitable left the slot
-            // Ready (woken synchronously): requeue it.
-            markReady(next);
-        }
-        // Else: the awaitable moved the slot into a wait state; a
-        // hook or completeBarrier will requeue it.
-    }
+    mainLoop();
 
     _running = false;
 
@@ -291,10 +337,45 @@ Scheduler::run(const ProgramFn &program)
     return finish;
 }
 
+namespace
+{
+
+/**
+ * Resolve the worker-thread count for a run: explicit config wins,
+ * otherwise the T3DSIM_HOST_THREADS environment variable. Zero means
+ * "sequential scheduler".
+ */
+unsigned
+resolveHostThreads(const SplitcConfig &config)
+{
+    if (config.hostThreads > 0)
+        return static_cast<unsigned>(config.hostThreads);
+    if (config.hostThreads < 0)
+        return 0;
+
+    const char *env = std::getenv("T3DSIM_HOST_THREADS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) {
+        T3D_PANIC("T3DSIM_HOST_THREADS must be a non-negative integer, "
+                  "got '", env, "'");
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+} // namespace
+
 std::vector<Cycles>
 runSpmd(machine::Machine &machine, const ProgramFn &program,
         const SplitcConfig &config)
 {
+    const unsigned host_threads = resolveHostThreads(config);
+    if (host_threads > 0) {
+        ParallelScheduler sched(machine, config, host_threads);
+        return sched.run(program);
+    }
     Scheduler sched(machine, config);
     return sched.run(program);
 }

@@ -154,12 +154,19 @@ enum class ProcState : std::uint8_t
 /**
  * The SPMD scheduler. Owns the Proc runtime objects and coroutine
  * frames for one run.
+ *
+ * The base class is the sequential scheduler. ParallelScheduler
+ * derives from it and overrides the virtual seams (markReady,
+ * queueWakeupCheck, barrierArrive, recordStoreArrival,
+ * recordAmArrival, mainLoop) to shard PEs across host threads; the
+ * sequential implementations below define the reference timing that
+ * the parallel scheduler must reproduce bit-identically.
  */
 class Scheduler
 {
   public:
     Scheduler(machine::Machine &machine, const SplitcConfig &config);
-    ~Scheduler();
+    virtual ~Scheduler();
 
     Scheduler(const Scheduler &) = delete;
     Scheduler &operator=(const Scheduler &) = delete;
@@ -185,9 +192,31 @@ class Scheduler
 
     /** Wake all barrier waiters at @p exit (last arriver calls). */
     void completeBarrier(Cycles exit);
+
+    /**
+     * PE @p pe arrived at the barrier at time @p when. The sequential
+     * implementation records the arrival in the barrier network and,
+     * if @p pe was the last arriver, completes the generation. The
+     * parallel scheduler defers the arrival to its window-merge step
+     * so the shared barrier network is only mutated serially.
+     */
+    virtual void barrierArrive(PeId pe, Cycles when);
+
+    /**
+     * A signaling store of @p bytes bytes landed at PE @p dst at time
+     * @p when; record it in the destination's arrival log (possibly
+     * waking a store_sync waiter). The parallel scheduler defers
+     * cross-shard records to the window merge.
+     */
+    virtual void recordStoreArrival(PeId dst, Cycles when,
+                                    std::uint64_t bytes);
+
+    /** Like recordStoreArrival, for the active-message arrival log. */
+    virtual void recordAmArrival(PeId dst, Cycles when,
+                                 std::uint64_t count);
     /// @}
 
-  private:
+  protected:
     /** Min-heap entry: one Ready PE keyed by its logical clock. */
     struct ReadyRef
     {
@@ -207,7 +236,7 @@ class Scheduler
     };
 
     /** Push @p pe (which just became Ready) onto the ready heap. */
-    void markReady(PeId pe);
+    virtual void markReady(PeId pe);
 
     /** Pop the Ready PE with the smallest (clock, pe) key. */
     PeId popReady();
@@ -217,7 +246,14 @@ class Scheduler
      * wake check to run after the current resume (the point the old
      * polling scheduler evaluated wait conditions).
      */
-    void queueWakeupCheck(PeId pe);
+    virtual void queueWakeupCheck(PeId pe);
+
+    /**
+     * Evaluate @p pe's wait condition; move it to Ready (charging the
+     * wake-up costs) if satisfied. Clears the wakeQueued flag.
+     * @return True if the PE became Ready.
+     */
+    bool tryWake(PeId pe);
 
     /** Run the queued wake checks, moving satisfied PEs to Ready. */
     void drainPendingWakeups();
@@ -225,6 +261,18 @@ class Scheduler
     /** Install / remove the per-node wakeup hooks. */
     void installHooks();
     void removeHooks();
+
+    /**
+     * Resume @p pe (which must be Ready) once. Requeues it if the
+     * awaitable left it Ready.
+     * @return True if the coroutine ran to completion; any exception
+     *         is left in the coroutine promise for the caller.
+     */
+    bool resumeSlot(PeId pe);
+
+    /** The scheduling loop proper; run() wraps it with setup and the
+     *  end-of-run flush. The base implementation is sequential. */
+    virtual void mainLoop();
 
     [[noreturn]] void panicDeadlock(std::size_t done) const;
 
@@ -251,12 +299,21 @@ class Scheduler
     /** PEs with a queued wake check (FIFO). */
     std::vector<PeId> _pendingWakeups;
 
+    /** PEs whose coroutine has completed. */
+    std::size_t _done = 0;
+
     bool _running = false;
 };
 
 /**
  * Convenience entry point: build a scheduler and run @p program on
  * every PE of @p machine.
+ *
+ * The scheduler flavor follows config.hostThreads: -1 forces the
+ * sequential scheduler, N >= 1 forces the host-parallel scheduler
+ * with N worker threads, and 0 (the default) consults the
+ * T3DSIM_HOST_THREADS environment variable (unset or 0 means
+ * sequential).
  */
 std::vector<Cycles> runSpmd(machine::Machine &machine,
                             const ProgramFn &program,

@@ -1,0 +1,26 @@
+#include "splitc/lookahead.hh"
+
+#include <algorithm>
+
+namespace t3dsim::splitc
+{
+
+Cycles
+conservativeLookahead(const machine::MachineConfig &config)
+{
+    // Minimum transit between two *distinct* PEs. Any torus with
+    // more than one node has an adjacent pair, so the floor is one
+    // hop; a single-node machine has no cross-PE path at all.
+    const Cycles min_transit =
+        config.numPes > 1 ? config.hopCycles : Cycles{0};
+
+    const shell::ShellConfig &sh = config.shell;
+    const Cycles store_path = sh.writeInjectBaseCycles + min_transit;
+    const Cycles message_path = sh.msgSendCycles + min_transit;
+    const Cycles barrier_path = sh.barrierLatencyCycles;
+
+    const Cycles w = std::min({store_path, message_path, barrier_path});
+    return std::max<Cycles>(w, 1);
+}
+
+} // namespace t3dsim::splitc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Conservative lookahead for the host-parallel scheduler.
+ *
+ * The parallel scheduler executes PEs in windows of W simulated
+ * cycles (DESIGN.md §9). W must be a lower bound on the time it
+ * takes any PE's action to influence *another* PE's wake-up or
+ * timestamps, so that everything a PE does before the window horizon
+ * is already determined by state merged at the window boundary.
+ *
+ * The influence paths the shell can generate, and their floors:
+ *
+ *  - signaling store / remote write line: at least
+ *    writeInjectBaseCycles of injection plus one network hop before
+ *    the receiver's ArrivalLog timestamp can exist;
+ *  - user-level message: msgSendCycles of PAL send plus one hop;
+ *  - barrier: the earliest another PE can observe a completed
+ *    generation is barrierLatencyCycles after the last arrival.
+ *
+ * Atomic fetch&inc and swap are *not* bounded by W — their
+ * round-trip influence is value-based, not time-based — so the
+ * parallel scheduler serializes them through a grant protocol
+ * instead of relying on the lookahead (DESIGN.md §9).
+ */
+
+#ifndef T3DSIM_SPLITC_LOOKAHEAD_HH
+#define T3DSIM_SPLITC_LOOKAHEAD_HH
+
+#include "machine/config.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::splitc
+{
+
+/**
+ * Minimum cross-PE interaction latency of @p config: the window
+ * width the parallel scheduler may use. Always at least 1.
+ */
+Cycles conservativeLookahead(const machine::MachineConfig &config);
+
+} // namespace t3dsim::splitc
+
+#endif // T3DSIM_SPLITC_LOOKAHEAD_HH

@@ -1,0 +1,651 @@
+#include "splitc/parallel_executor.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+#include "machine/node.hh"
+#include "splitc/lookahead.hh"
+#include "splitc/proc.hh"
+#include "sim/logging.hh"
+
+namespace t3dsim::splitc
+{
+
+thread_local ParallelScheduler::Shard *ParallelScheduler::tlsShard = nullptr;
+
+namespace
+{
+
+constexpr Cycles NO_KEY = std::numeric_limits<Cycles>::max();
+
+/** Merge order of deferred effects / blocked resumes. */
+using MergeKey = std::tuple<Cycles, PeId, std::uint64_t>;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
+ParallelScheduler::ParallelScheduler(machine::Machine &machine,
+                                     const SplitcConfig &config,
+                                     unsigned host_threads)
+    : Scheduler(machine, config)
+{
+    _window = conservativeLookahead(machine.config());
+
+    unsigned shards = std::max(1u, host_threads);
+    shards = std::min<unsigned>(shards, machine.numPes());
+    // Observability instruments the transit path (torus route state,
+    // per-node counters, the trace sink) from whatever thread makes
+    // the access; those structures are single-threaded, so observed
+    // runs collapse to one worker. Timing is unaffected either way.
+    if (machine.countersEnabled() || machine.trace() != nullptr)
+        shards = 1;
+
+    T3D_ASSERT(machine.config().dcacheLineBytes <= 32,
+               "deferred line buffer holds at most 32 bytes, got line of ",
+               machine.config().dcacheLineBytes);
+
+    const std::uint32_t pes = machine.numPes();
+    _peShard.resize(pes);
+    _shards.reserve(shards);
+    const std::uint32_t base = pes / shards;
+    const std::uint32_t rem = pes % shards;
+    PeId next = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = s;
+        const std::uint32_t count = base + (s < rem ? 1 : 0);
+        for (std::uint32_t i = 0; i < count; ++i)
+            _peShard[next++] = s;
+        _shards.push_back(std::move(shard));
+    }
+
+    _proxies.reserve(pes);
+    for (PeId pe = 0; pe < pes; ++pe)
+        _proxies.emplace_back(*this, pe);
+}
+
+ParallelScheduler::~ParallelScheduler()
+{
+    shutdownWorkers();
+}
+
+// ---------------------------------------------------------------------
+// Seam overrides
+// ---------------------------------------------------------------------
+
+void
+ParallelScheduler::markReady(PeId pe)
+{
+    Shard &shard = *_shards[_peShard[pe]];
+    shard.heap.push_back({_slots[pe].proc->now(), pe});
+    std::push_heap(shard.heap.begin(), shard.heap.end());
+}
+
+void
+ParallelScheduler::queueWakeupCheck(PeId pe)
+{
+    Slot &slot = _slots[pe];
+    if (slot.wakeQueued)
+        return;
+    if (slot.state != ProcState::StoreWait &&
+        slot.state != ProcState::MessageWait)
+        return;
+    slot.wakeQueued = true;
+
+    // Same-shard wakes run right after the current resume (the exact
+    // point the sequential scheduler runs them); anything else —
+    // merge-time applications, granted cross-shard records — drains
+    // serially at the next window start, before any PE can run.
+    Shard *shard = tlsShard;
+    if (shard && _peShard[pe] == shard->index)
+        shard->localWakes.push_back(pe);
+    else
+        _pendingWakeups.push_back(pe);
+}
+
+void
+ParallelScheduler::barrierArrive(PeId pe, Cycles when)
+{
+    // The barrier network is shared machine state read by every
+    // shard's fast path (generation, last exit time): inside a
+    // window the arrival is always deferred, even for a "local"
+    // one, so it is only mutated serially at the merge.
+    Shard *shard = tlsShard;
+    if (shard && !shard->grantedMode) {
+        DeferredOp &op = defer(*shard, DeferredOp::Kind::BarrierArrive, pe);
+        op.when = when;
+        return;
+    }
+    Scheduler::barrierArrive(pe, when);
+}
+
+void
+ParallelScheduler::recordStoreArrival(PeId dst, Cycles when,
+                                      std::uint64_t bytes)
+{
+    Shard *shard = tlsShard;
+    if (shard && !shard->grantedMode && _peShard[dst] != shard->index) {
+        DeferredOp &op = defer(*shard, DeferredOp::Kind::StoreArrival, dst);
+        op.when = when;
+        op.amount = bytes;
+        return;
+    }
+    Scheduler::recordStoreArrival(dst, when, bytes);
+}
+
+void
+ParallelScheduler::recordAmArrival(PeId dst, Cycles when,
+                                   std::uint64_t count)
+{
+    Shard *shard = tlsShard;
+    if (shard && !shard->grantedMode && _peShard[dst] != shard->index) {
+        DeferredOp &op = defer(*shard, DeferredOp::Kind::AmArrival, dst);
+        op.when = when;
+        op.amount = count;
+        return;
+    }
+    Scheduler::recordAmArrival(dst, when, count);
+}
+
+shell::RemoteMemoryPort *
+ParallelScheduler::route(PeId dst)
+{
+    Shard *shard = tlsShard;
+    if (!shard || shard->grantedMode)
+        return nullptr; // controller / granted resume: direct access
+    if (_peShard[dst] == shard->index)
+        return nullptr; // same shard: the destination is exclusively ours
+    return &_proxies[dst];
+}
+
+// ---------------------------------------------------------------------
+// RemoteProxy: the cross-shard view of one destination PE
+// ---------------------------------------------------------------------
+
+Cycles
+ParallelScheduler::RemoteProxy::serviceRead(Cycles arrive, Addr offset,
+                                            void *dst, std::size_t len,
+                                            PeId requester)
+{
+    const Cycles done = _sched->machine().node(_dst).serviceReadConcurrent(
+        arrive, offset, dst, len, requester);
+    _sched->overlayPendingWrites(*tlsShard, _dst, offset, dst, len);
+    return done;
+}
+
+Cycles
+ParallelScheduler::RemoteProxy::serviceWrite(Cycles arrive, Addr offset,
+                                             const void *src,
+                                             std::size_t len,
+                                             bool cache_inval,
+                                             PeId requester)
+{
+    // No runtime path issues un-masked remote writes today; if one
+    // appears, serialize it like an atomic rather than guessing at a
+    // timing/data split.
+    _sched->blockForGrant();
+    return _sched->machine().node(_dst).serviceWrite(
+        arrive, offset, src, len, cache_inval, requester);
+}
+
+Cycles
+ParallelScheduler::RemoteProxy::serviceWriteMasked(Cycles arrive,
+                                                   Addr line_offset,
+                                                   const std::uint8_t *data,
+                                                   std::uint32_t byte_mask,
+                                                   bool cache_inval,
+                                                   PeId requester)
+{
+    // The source needs the completion time now (it feeds the ack
+    // pipeline), but the destination's data and cache state must not
+    // change until the merge: split timing from application.
+    const Cycles done = _sched->machine().node(_dst).writeMaskedTiming(
+        arrive, line_offset, requester);
+
+    DeferredOp &op = _sched->defer(*tlsShard,
+                                   DeferredOp::Kind::MaskedLine, _dst);
+    op.offset = line_offset;
+    op.mask = byte_mask;
+    op.cacheInval = cache_inval;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (byte_mask & (1u << i))
+            op.line[i] = data[i];
+    }
+    return done;
+}
+
+Cycles
+ParallelScheduler::RemoteProxy::serviceSwap(Cycles arrive, Addr offset,
+                                            std::uint64_t new_value,
+                                            std::uint64_t &old_value,
+                                            PeId requester)
+{
+    // The requester needs the pre-swap value to continue: this
+    // cannot be deferred. Park until every other shard is quiescent,
+    // then run directly.
+    _sched->blockForGrant();
+    return _sched->machine().node(_dst).serviceSwap(
+        arrive, offset, new_value, old_value, requester);
+}
+
+Cycles
+ParallelScheduler::RemoteProxy::serviceFetchInc(Cycles arrive, unsigned reg,
+                                                std::uint64_t &old_value)
+{
+    _sched->blockForGrant();
+    return _sched->machine().node(_dst).serviceFetchInc(arrive, reg,
+                                                        old_value);
+}
+
+void
+ParallelScheduler::RemoteProxy::serviceMessage(Cycles arrive,
+                                               const std::uint64_t words[4])
+{
+    DeferredOp &op = _sched->defer(*tlsShard,
+                                   DeferredOp::Kind::Message, _dst);
+    op.when = arrive;
+    std::copy(words, words + 4, op.words.begin());
+}
+
+void
+ParallelScheduler::RemoteProxy::bulkReadRaw(Addr offset, void *dst,
+                                            std::size_t len)
+{
+    _sched->machine().node(_dst).bulkReadRawConcurrent(offset, dst, len);
+    _sched->overlayPendingWrites(*tlsShard, _dst, offset, dst, len);
+}
+
+void
+ParallelScheduler::RemoteProxy::bulkWriteRaw(Addr offset, const void *src,
+                                             std::size_t len)
+{
+    DeferredOp &op = _sched->defer(*tlsShard,
+                                   DeferredOp::Kind::BulkWrite, _dst);
+    op.offset = offset;
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    op.bulk.assign(bytes, bytes + len);
+}
+
+// ---------------------------------------------------------------------
+// Shard-thread side
+// ---------------------------------------------------------------------
+
+ParallelScheduler::DeferredOp &
+ParallelScheduler::defer(Shard &shard, DeferredOp::Kind kind, PeId dst)
+{
+    DeferredOp &op = shard.outbox.emplace_back();
+    op.key = shard.currentKey.clock;
+    op.src = shard.currentKey.pe;
+    op.seq = shard.seq++;
+    op.kind = kind;
+    op.dst = dst;
+    return op;
+}
+
+void
+ParallelScheduler::overlayPendingWrites(const Shard &shard, PeId dst,
+                                        Addr offset, void *buf,
+                                        std::size_t len) const
+{
+    auto *bytes = static_cast<std::uint8_t *>(buf);
+    for (std::size_t i = shard.outboxCursor; i < shard.outbox.size(); ++i) {
+        const DeferredOp &op = shard.outbox[i];
+        if (op.dst != dst)
+            continue;
+        switch (op.kind) {
+          case DeferredOp::Kind::MaskedLine:
+            for (unsigned b = 0; b < 32; ++b) {
+                if (!(op.mask & (1u << b)))
+                    continue;
+                const Addr a = op.offset + b;
+                if (a >= offset && a < offset + len)
+                    bytes[a - offset] = op.line[b];
+            }
+            break;
+          case DeferredOp::Kind::BulkWrite: {
+            const Addr lo = std::max<Addr>(op.offset, offset);
+            const Addr hi = std::min<Addr>(op.offset + op.bulk.size(),
+                                           offset + len);
+            if (lo < hi) {
+                std::copy_n(op.bulk.data() + (lo - op.offset), hi - lo,
+                            bytes + (lo - offset));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+ParallelScheduler::sortOutboxTail(Shard &shard)
+{
+    // Host append order can regress below the resume key (a woken PE
+    // resumes at a clock earlier than a PE that ran before it), so
+    // the unapplied tail is sorted into merge order whenever the
+    // shard parks.
+    std::sort(shard.outbox.begin() +
+                  static_cast<std::ptrdiff_t>(shard.outboxCursor),
+              shard.outbox.end(),
+              [](const DeferredOp &a, const DeferredOp &b) {
+                  return std::tie(a.key, a.src, a.seq) <
+                         std::tie(b.key, b.src, b.seq);
+              });
+}
+
+void
+ParallelScheduler::drainLocalWakes(Shard &shard)
+{
+    for (std::size_t i = 0; i < shard.localWakes.size(); ++i)
+        tryWake(shard.localWakes[i]);
+    shard.localWakes.clear();
+}
+
+void
+ParallelScheduler::runWindow(Shard &shard)
+{
+    while (!_abort.load(std::memory_order_relaxed)) {
+        if (shard.heap.empty())
+            break;
+        const ReadyRef top = shard.heap.front();
+        if (top.clock >= shard.horizon)
+            break;
+        std::pop_heap(shard.heap.begin(), shard.heap.end());
+        shard.heap.pop_back();
+
+        shard.currentKey = top;
+        const bool finished = resumeSlot(top.pe);
+        shard.grantedMode = false;
+        if (finished) {
+            auto handle = _slots[top.pe].task.handle();
+            if (handle.promise().exception) {
+                noteError(handle.promise().exception);
+                break;
+            }
+            ++shard.doneDelta;
+        }
+        drainLocalWakes(shard);
+    }
+}
+
+void
+ParallelScheduler::workerMain(Shard &shard)
+{
+    tlsShard = &shard;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(shard.m);
+            shard.cv.wait(lock, [&] {
+                return shard.runRequested || shard.exitRequested;
+            });
+            if (shard.exitRequested)
+                return;
+            shard.runRequested = false;
+        }
+        try {
+            runWindow(shard);
+        } catch (...) {
+            noteError(std::current_exception());
+        }
+        {
+            std::lock_guard<std::mutex> lock(shard.m);
+            sortOutboxTail(shard);
+            shard.state = Shard::State::DoneWindow;
+            shard.cv.notify_all();
+        }
+    }
+}
+
+void
+ParallelScheduler::blockForGrant()
+{
+    Shard *shard = tlsShard;
+    T3D_ASSERT(shard, "grant requested off a worker thread");
+    T3D_ASSERT(!shard->grantedMode, "nested grant request");
+
+    std::unique_lock<std::mutex> lock(shard->m);
+    sortOutboxTail(*shard);
+    shard->state = Shard::State::Blocked;
+    shard->cv.notify_all();
+    shard->cv.wait(lock, [&] {
+        return shard->granted || shard->exitRequested;
+    });
+    if (shard->exitRequested) {
+        // Teardown while parked (the controller is unwinding): bail
+        // out of the resume; the exception parks in the coroutine
+        // promise and the worker exits on its next command wait.
+        lock.unlock();
+        throw std::runtime_error(
+            "t3dsim: parallel scheduler shut down while awaiting grant");
+    }
+    shard->granted = false;
+    shard->state = Shard::State::Running;
+    shard->grantedMode = true;
+}
+
+void
+ParallelScheduler::noteError(std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(_errorMutex);
+        if (!_firstError)
+            _firstError = error;
+    }
+    _abort.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------
+// Controller side
+// ---------------------------------------------------------------------
+
+void
+ParallelScheduler::dispatch(Shard &shard, Cycles horizon)
+{
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.horizon = horizon;
+    shard.doneDelta = 0;
+    shard.runRequested = true;
+    shard.state = Shard::State::Running;
+    shard.cv.notify_all();
+}
+
+void
+ParallelScheduler::waitParked(Shard &shard)
+{
+    std::unique_lock<std::mutex> lock(shard.m);
+    shard.cv.wait(lock, [&] {
+        return shard.state == Shard::State::Blocked ||
+               shard.state == Shard::State::DoneWindow;
+    });
+}
+
+void
+ParallelScheduler::grantAndWait(Shard &shard)
+{
+    std::unique_lock<std::mutex> lock(shard.m);
+    shard.granted = true;
+    shard.cv.notify_all();
+    // The shard consumes the grant (granted = false, state =
+    // Running), finishes the resume with direct access, and parks
+    // again — possibly blocked on its next atomic.
+    shard.cv.wait(lock, [&] {
+        return !shard.granted && shard.state != Shard::State::Running;
+    });
+}
+
+void
+ParallelScheduler::applyOp(const DeferredOp &op)
+{
+    machine::Node &node = _machine.node(op.dst);
+    switch (op.kind) {
+      case DeferredOp::Kind::MaskedLine:
+        node.applyMaskedLine(op.offset, op.line.data(), op.mask,
+                             op.cacheInval);
+        break;
+      case DeferredOp::Kind::BulkWrite:
+        node.bulkWriteRaw(op.offset, op.bulk.data(), op.bulk.size());
+        break;
+      case DeferredOp::Kind::Message:
+        node.serviceMessage(op.when, op.words.data());
+        break;
+      case DeferredOp::Kind::StoreArrival:
+        Scheduler::recordStoreArrival(op.dst, op.when, op.amount);
+        break;
+      case DeferredOp::Kind::AmArrival:
+        Scheduler::recordAmArrival(op.dst, op.when, op.amount);
+        break;
+      case DeferredOp::Kind::BarrierArrive:
+        Scheduler::barrierArrive(op.dst, op.when);
+        break;
+    }
+}
+
+void
+ParallelScheduler::mergeWindow()
+{
+    // Repeatedly consume the globally smallest pending item — a
+    // deferred effect at an outbox cursor, or a shard blocked on an
+    // atomic — in (clock, source PE, issue seq) order. Applying in
+    // key order reproduces the sequential schedule; grants interleave
+    // the serialized atomics at exactly their key position.
+    while (true) {
+        Shard *op_shard = nullptr;
+        Shard *blocked = nullptr;
+        MergeKey best{};
+        bool have = false;
+
+        for (auto &entry : _shards) {
+            Shard &shard = *entry;
+            if (shard.outboxCursor < shard.outbox.size()) {
+                const DeferredOp &op = shard.outbox[shard.outboxCursor];
+                const MergeKey key{op.key, op.src, op.seq};
+                if (!have || key < best) {
+                    have = true;
+                    best = key;
+                    op_shard = &shard;
+                    blocked = nullptr;
+                }
+            }
+            Shard::State state;
+            {
+                std::lock_guard<std::mutex> lock(shard.m);
+                state = shard.state;
+            }
+            if (state == Shard::State::Blocked) {
+                // The blocked op carries the shard's next seq: every
+                // effect the resume deferred before it applies first.
+                const MergeKey key{shard.currentKey.clock,
+                                   shard.currentKey.pe, shard.seq};
+                if (!have || key < best) {
+                    have = true;
+                    best = key;
+                    blocked = &shard;
+                    op_shard = nullptr;
+                }
+            }
+        }
+
+        if (!have)
+            break;
+        if (op_shard) {
+            applyOp(op_shard->outbox[op_shard->outboxCursor]);
+            ++op_shard->outboxCursor;
+        } else {
+            grantAndWait(*blocked);
+        }
+    }
+
+    for (auto &entry : _shards) {
+        entry->outbox.clear();
+        entry->outboxCursor = 0;
+    }
+}
+
+void
+ParallelScheduler::shutdownWorkers()
+{
+    for (auto &entry : _shards) {
+        std::lock_guard<std::mutex> lock(entry->m);
+        entry->exitRequested = true;
+        entry->cv.notify_all();
+    }
+    for (auto &entry : _shards) {
+        if (entry->thread.joinable())
+            entry->thread.join();
+    }
+}
+
+void
+ParallelScheduler::mainLoop()
+{
+    struct RouterGuard
+    {
+        machine::Machine &machine;
+        ~RouterGuard() { machine.setRemoteRouter(nullptr); }
+    } router_guard{_machine};
+    _machine.setRemoteRouter(this);
+
+    for (auto &entry : _shards) {
+        Shard *shard = entry.get();
+        shard->thread = std::thread([this, shard] { workerMain(*shard); });
+    }
+    struct WorkerGuard
+    {
+        ParallelScheduler &sched;
+        ~WorkerGuard() { sched.shutdownWorkers(); }
+    } worker_guard{*this};
+
+    while (true) {
+        // Serial pre-window step: wake checks queued by the previous
+        // merge (and granted cross-shard records) run before any PE
+        // can be scheduled, exactly like the sequential drain before
+        // each pop.
+        drainPendingWakeups();
+        if (_done >= _slots.size() ||
+            _abort.load(std::memory_order_acquire)) {
+            break;
+        }
+
+        Cycles t = NO_KEY;
+        for (auto &entry : _shards) {
+            if (!entry->heap.empty() && entry->heap.front().clock < t)
+                t = entry->heap.front().clock;
+        }
+        if (t == NO_KEY)
+            panicDeadlock(_done);
+        const Cycles horizon =
+            t > NO_KEY - _window ? NO_KEY : t + _window;
+
+        for (auto &entry : _shards) {
+            entry->dispatched = !entry->heap.empty() &&
+                                entry->heap.front().clock < horizon;
+            if (entry->dispatched)
+                dispatch(*entry, horizon);
+        }
+        for (auto &entry : _shards) {
+            if (entry->dispatched)
+                waitParked(*entry);
+        }
+
+        mergeWindow();
+
+        for (auto &entry : _shards) {
+            if (!entry->dispatched)
+                continue;
+            _done += entry->doneDelta;
+            entry->doneDelta = 0;
+        }
+    }
+
+    shutdownWorkers();
+    if (_firstError)
+        std::rethrow_exception(_firstError);
+}
+
+} // namespace t3dsim::splitc

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Host-parallel conservative scheduler: shards the PEs across worker
+ * threads and executes them in lookahead windows, keeping simulated
+ * timing bit-identical to the sequential Scheduler.
+ *
+ * Structure of one window (see DESIGN.md §9 for the full argument):
+ *
+ *   1. (serial)   drain wake checks queued by the previous merge;
+ *                 T = smallest ready key across all shard heaps;
+ *                 horizon H = T + W where W is the conservative
+ *                 lookahead (splitc/lookahead.hh).
+ *   2. (parallel) every shard with work under H resumes its own PEs
+ *                 in (clock, pe) order while their keys are < H.
+ *                 Effects that cross a shard boundary are not applied
+ *                 to the destination; they are appended to the
+ *                 shard's outbox stamped (resume-start clock, source
+ *                 PE, issue seq). Reads use the destination node's
+ *                 concurrent (cache-free) paths. Atomic
+ *                 fetch&inc/swap cannot be deferred (the requester
+ *                 needs the old value), so the shard parks and waits
+ *                 for a grant.
+ *   3. (serial)   merge: repeatedly apply the globally smallest
+ *                 deferred effect, or grant the blocked shard with
+ *                 the smallest key, until neither remains. Grants
+ *                 run the blocked resume to completion with direct
+ *                 (non-deferred) access while every other shard is
+ *                 parked.
+ *
+ * Because W is a lower bound on every cross-PE influence latency, no
+ * effect generated inside a window can change what a PE in the same
+ * window should have done: all deferred effects land at times >= H.
+ * Applying them in (clock, pe, seq) order at the merge reproduces
+ * the sequential order exactly for race-free programs.
+ */
+
+#ifndef T3DSIM_SPLITC_PARALLEL_EXECUTOR_HH
+#define T3DSIM_SPLITC_PARALLEL_EXECUTOR_HH
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "shell/ports.hh"
+#include "splitc/executor.hh"
+#include "sim/types.hh"
+
+namespace t3dsim::splitc
+{
+
+/**
+ * The host-parallel scheduler. Overrides the sequential Scheduler's
+ * virtual seams; the simulated timing model is entirely inherited.
+ */
+class ParallelScheduler final : public Scheduler,
+                                public machine::RemoteAccessRouter
+{
+  public:
+    /**
+     * @param host_threads Worker threads to shard the PEs across
+     *        (>= 1; clamped to the PE count, and to 1 when
+     *        observability is on — the transit-path instrumentation
+     *        is not thread-safe).
+     */
+    ParallelScheduler(machine::Machine &machine, const SplitcConfig &config,
+                      unsigned host_threads);
+    ~ParallelScheduler() override;
+
+    /** Worker threads actually used after clamping. */
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(_shards.size());
+    }
+
+    /** The conservative window width W, in simulated cycles. */
+    Cycles lookahead() const { return _window; }
+
+    /** @name Scheduler seams (see executor.hh) */
+    /// @{
+    void barrierArrive(PeId pe, Cycles when) override;
+    void recordStoreArrival(PeId dst, Cycles when,
+                            std::uint64_t bytes) override;
+    void recordAmArrival(PeId dst, Cycles when,
+                         std::uint64_t count) override;
+    /// @}
+
+    /** @name machine::RemoteAccessRouter */
+    /// @{
+    shell::RemoteMemoryPort *route(PeId dst) override;
+    /// @}
+
+  protected:
+    void markReady(PeId pe) override;
+    void queueWakeupCheck(PeId pe) override;
+    void mainLoop() override;
+
+  private:
+    /** One cross-shard effect, deferred to the window merge. */
+    struct DeferredOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            MaskedLine,   ///< drained write-buffer line (data half)
+            BulkWrite,    ///< block-transfer-engine write payload
+            Message,      ///< user-level message delivery
+            StoreArrival, ///< signaling-store arrival-log record
+            AmArrival,    ///< active-message arrival-log record
+            BarrierArrive ///< barrier-network arrival
+        };
+
+        /** Merge order: resume-start clock of the issuing PE... */
+        Cycles key = 0;
+        /** ...then source PE... */
+        PeId src = 0;
+        /** ...then per-shard issue order. */
+        std::uint64_t seq = 0;
+
+        Kind kind = Kind::StoreArrival;
+        PeId dst = 0;
+        Cycles when = 0;
+        Addr offset = 0;
+        std::uint64_t amount = 0;
+        std::uint32_t mask = 0;
+        bool cacheInval = false;
+        std::array<std::uint64_t, 4> words{};
+        std::array<std::uint8_t, 32> line{};
+        std::vector<std::uint8_t> bulk;
+    };
+
+    /**
+     * Cross-shard view of one destination PE's memory: reads go to
+     * the node's concurrent paths, writes split into source-side
+     * timing now and destination-side data at the merge, atomics
+     * block for a grant.
+     */
+    class RemoteProxy final : public shell::RemoteMemoryPort
+    {
+      public:
+        RemoteProxy(ParallelScheduler &sched, PeId dst)
+            : _sched(&sched), _dst(dst)
+        {
+        }
+
+        Cycles serviceRead(Cycles arrive, Addr offset, void *dst,
+                           std::size_t len, PeId requester) override;
+        Cycles serviceWrite(Cycles arrive, Addr offset, const void *src,
+                            std::size_t len, bool cache_inval,
+                            PeId requester) override;
+        Cycles serviceWriteMasked(Cycles arrive, Addr line_offset,
+                                  const std::uint8_t *data,
+                                  std::uint32_t byte_mask,
+                                  bool cache_inval, PeId requester) override;
+        Cycles serviceSwap(Cycles arrive, Addr offset,
+                           std::uint64_t new_value,
+                           std::uint64_t &old_value, PeId requester) override;
+        Cycles serviceFetchInc(Cycles arrive, unsigned reg,
+                               std::uint64_t &old_value) override;
+        void serviceMessage(Cycles arrive,
+                            const std::uint64_t words[4]) override;
+        void bulkReadRaw(Addr offset, void *dst, std::size_t len) override;
+        void bulkWriteRaw(Addr offset, const void *src,
+                          std::size_t len) override;
+
+      private:
+        ParallelScheduler *_sched;
+        PeId _dst;
+    };
+
+    /** One worker thread and the PEs it owns. */
+    struct Shard
+    {
+        enum class State : std::uint8_t
+        {
+            Idle,      ///< awaiting a window command
+            Running,   ///< executing its slice of the window
+            Blocked,   ///< parked mid-resume, awaiting a grant
+            DoneWindow ///< finished its slice, awaiting the merge
+        };
+
+        unsigned index = 0;
+
+        /** @name Shard-owned while Running, controller-owned while
+         *  parked (handshakes below provide the ordering). */
+        /// @{
+        std::vector<ReadyRef> heap;
+        std::vector<PeId> localWakes;
+        std::vector<DeferredOp> outbox;
+        std::size_t outboxCursor = 0;
+        std::uint64_t seq = 0;
+        ReadyRef currentKey{0, 0};
+        bool grantedMode = false;
+        std::size_t doneDelta = 0;
+        Cycles horizon = 0;
+        bool dispatched = false;
+        /// @}
+
+        std::mutex m;
+        std::condition_variable cv;
+        State state = State::Idle;
+        bool granted = false;
+        bool runRequested = false;
+        bool exitRequested = false;
+        std::thread thread;
+    };
+
+    /** @name Shard-thread side */
+    /// @{
+    void workerMain(Shard &shard);
+    void runWindow(Shard &shard);
+    void drainLocalWakes(Shard &shard);
+
+    /**
+     * Park the calling shard until the controller grants it the
+     * right to finish the current resume with direct access (all
+     * other shards parked). Called from RemoteProxy on atomics.
+     */
+    void blockForGrant();
+
+    /** Append a deferred op stamped with the current resume's key. */
+    DeferredOp &defer(Shard &shard, DeferredOp::Kind kind, PeId dst);
+
+    /**
+     * Patch a concurrent read of @p dst with the calling shard's own
+     * unapplied deferred writes, restoring the sequential
+     * read-after-write semantics (the sequential engine applies
+     * write data instantly at injection, so a PE sees its own remote
+     * write on an immediate read-back).
+     */
+    void overlayPendingWrites(const Shard &shard, PeId dst, Addr offset,
+                              void *buf, std::size_t len) const;
+
+    /** Sort the unapplied outbox tail into merge order. */
+    static void sortOutboxTail(Shard &shard);
+    /// @}
+
+    /** @name Controller side */
+    /// @{
+    void dispatch(Shard &shard, Cycles horizon);
+    void waitParked(Shard &shard);
+    void mergeWindow();
+    void applyOp(const DeferredOp &op);
+    void grantAndWait(Shard &shard);
+    void shutdownWorkers();
+    /// @}
+
+    void noteError(std::exception_ptr error);
+
+    /** Conservative lookahead window W. */
+    Cycles _window = 1;
+
+    /** PE -> owning shard index. */
+    std::vector<std::uint32_t> _peShard;
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+
+    /** Per-destination-PE cross-shard proxy. */
+    std::vector<RemoteProxy> _proxies;
+
+    std::mutex _errorMutex;
+    std::exception_ptr _firstError;
+    std::atomic<bool> _abort{false};
+
+    /** The shard owned by the calling worker thread (null on the
+     *  controller thread). */
+    static thread_local Shard *tlsShard;
+};
+
+} // namespace t3dsim::splitc
+
+#endif // T3DSIM_SPLITC_PARALLEL_EXECUTOR_HH

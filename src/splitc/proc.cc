@@ -267,7 +267,7 @@ Proc::storeBytesSignaling(GlobalAddr dst, const void *src,
             std::memcpy(&w, static_cast<const std::uint8_t *>(src) + i, 8);
             core.storeU64(dst.local() + i, w);
         }
-        _node.storeArrivals().record(clock.now(), len);
+        _sched.recordStoreArrival(pe(), clock.now(), len);
         return;
     }
 
@@ -298,7 +298,7 @@ Proc::storeBytesSignaling(GlobalAddr dst, const void *src,
     // one injection interval.
     clock.syncTo(injected > clock.now() ? injected : clock.now());
 
-    _machine.node(dst.pe()).storeArrivals().record(remote_done, len);
+    _sched.recordStoreArrival(dst.pe(), remote_done, len);
     _putsOutstanding = true; // all_store_sync waits for acks
 }
 
@@ -358,13 +358,11 @@ Proc::startBarrier()
     _barrierGen = bn.generation();
     _barrierActive = true;
 
-    auto exit = bn.arrive(pe(), now());
-    if (exit) {
-        // Last arriver: wake the parked waiters. Our own clock is
-        // synchronized at endBarrier — the fuzzy window in between
-        // belongs to us.
-        _sched.completeBarrier(*exit);
-    }
+    // The scheduler owns the arrival: sequentially it lands in the
+    // barrier network at once (completing the generation if we are
+    // the last arriver); the parallel scheduler defers it to the
+    // serial window merge.
+    _sched.barrierArrive(pe(), now());
 }
 
 BarrierAwaiter
@@ -655,7 +653,7 @@ Proc::amDeposit(PeId dst, std::uint64_t tag,
     _node.shell().remote().injectWriteLine(clock.now(), dst, line,
                                            data.data(), mask,
                                            &remote_done);
-    _machine.node(dst).amArrivals().record(remote_done, 1);
+    _sched.recordAmArrival(dst, remote_done, 1);
     _putsOutstanding = true;
 }
 

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the parallel scheduler's conservative lookahead.
+ *
+ * W must be positive (a zero-width window cannot make progress) and
+ * must not exceed any latency along which one PE's action can reach
+ * another PE's wake-up machinery: signaling-store arrival, message
+ * delivery, and barrier completion. (fetch&inc / swap are serialized
+ * by the grant protocol, not bounded by W — see lookahead.hh.)
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "splitc/lookahead.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::MachineConfig;
+using splitc::conservativeLookahead;
+
+/** Every wake-capable cross-PE latency @p config can generate. */
+std::vector<Cycles>
+crossPeLatencies(const MachineConfig &config)
+{
+    const Cycles min_transit =
+        config.numPes > 1 ? config.hopCycles : Cycles{0};
+    return {
+        config.shell.writeInjectBaseCycles + min_transit,
+        config.shell.msgSendCycles + min_transit,
+        config.shell.barrierLatencyCycles,
+    };
+}
+
+void
+expectConservative(const MachineConfig &config)
+{
+    const Cycles w = conservativeLookahead(config);
+    EXPECT_GE(w, 1u);
+    for (Cycles latency : crossPeLatencies(config)) {
+        if (latency > 0) {
+            EXPECT_LE(w, latency)
+                << "lookahead exceeds a cross-PE influence path";
+        }
+    }
+}
+
+TEST(Lookahead, DefaultT3dConfig)
+{
+    const MachineConfig config = MachineConfig::t3d();
+    const Cycles w = conservativeLookahead(config);
+    // writeInjectBaseCycles (5) + one hop (2) is the shortest
+    // cross-PE path of the calibrated machine.
+    EXPECT_EQ(w, config.shell.writeInjectBaseCycles + config.hopCycles);
+    expectConservative(config);
+}
+
+TEST(Lookahead, ScalesAcrossMachineSizes)
+{
+    for (std::uint32_t pes : {2u, 4u, 32u, 256u, 512u})
+        expectConservative(MachineConfig::t3d(pes));
+}
+
+TEST(Lookahead, DegenerateSinglePe)
+{
+    // One PE: no cross-PE path exists; the window must still be
+    // positive so the (trivially sequential) run advances.
+    const MachineConfig config = MachineConfig::t3d(1);
+    EXPECT_GE(conservativeLookahead(config), 1u);
+    expectConservative(config);
+}
+
+TEST(Lookahead, ZeroHopNetwork)
+{
+    MachineConfig config = MachineConfig::t3d(8);
+    config.hopCycles = 0;
+    const Cycles w = conservativeLookahead(config);
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, config.shell.writeInjectBaseCycles);
+    expectConservative(config);
+}
+
+TEST(Lookahead, DegenerateZeroCostShell)
+{
+    // Even a config with every relevant cost zeroed must yield a
+    // positive window.
+    MachineConfig config = MachineConfig::t3d(4);
+    config.hopCycles = 0;
+    config.shell.writeInjectBaseCycles = 0;
+    config.shell.msgSendCycles = 0;
+    config.shell.barrierLatencyCycles = 0;
+    EXPECT_EQ(conservativeLookahead(config), 1u);
+}
+
+TEST(Lookahead, TracksTheCheapestPath)
+{
+    // Make the barrier the cheapest path; W must follow it down.
+    MachineConfig config = MachineConfig::t3d(16);
+    config.shell.barrierLatencyCycles = 3;
+    EXPECT_EQ(conservativeLookahead(config), 3u);
+    expectConservative(config);
+}
+
+} // namespace

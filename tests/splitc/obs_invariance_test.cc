@@ -9,6 +9,11 @@
  * simulated results — EM3D elapsed cycles and checksums, and per-PE
  * finish times for the scheduler stress shapes whose wakeup paths
  * carry the heaviest instrumentation.
+ *
+ * The host-parallel scheduler must uphold the same invariant: every
+ * shape here also runs under 1/2/4/8 worker threads (observability
+ * on clamps to one worker internally, but still takes the windowed
+ * execution path) and must match the sequential run bit-for-bit.
  */
 
 #include <cstdint>
@@ -44,6 +49,18 @@ finishHash(const std::vector<Cycles> &finish)
     }
     return h;
 }
+
+/** Scheduler selection: -1 sequential, N >= 1 parallel N threads. */
+splitc::SplitcConfig
+withHostThreads(int host_threads)
+{
+    splitc::SplitcConfig cfg;
+    cfg.hostThreads = host_threads;
+    return cfg;
+}
+
+constexpr int kSequential = -1;
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
 
 /** Machine config with every observability channel on. */
 MachineConfig
@@ -87,7 +104,8 @@ TEST(ObsInvariance, Em3dIdenticalWithObservabilityOn)
 /** The sched_determinism store-push shape: store_sync wakeups,
  *  barriers and the write pipeline all on the critical path. */
 std::vector<Cycles>
-runStorePush(const MachineConfig &machine_config, int iters)
+runStorePush(const MachineConfig &machine_config, int iters,
+             const splitc::SplitcConfig &cfg = {})
 {
     Machine m(machine_config);
     constexpr Addr valsBase = 0x40000;
@@ -127,7 +145,7 @@ runStorePush(const MachineConfig &machine_config, int iters)
             co_await p.barrier();
         }
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(ObsInvariance, StorePushFinishTimesIdentical)
@@ -143,7 +161,8 @@ TEST(ObsInvariance, StorePushFinishTimesIdentical)
 
 /** Mixed shell traffic: messages, fetch&inc, AMs, bulk transfers. */
 std::vector<Cycles>
-runMixedShellTraffic(const MachineConfig &machine_config)
+runMixedShellTraffic(const MachineConfig &machine_config,
+                     const splitc::SplitcConfig &cfg = {})
 {
     Machine m(machine_config);
     constexpr Addr bufBase = 0x60000;
@@ -172,7 +191,7 @@ runMixedShellTraffic(const MachineConfig &machine_config)
         EXPECT_EQ(msg.words[1], 1u);
         co_await p.barrier();
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(ObsInvariance, MixedShellTrafficIdentical)
@@ -180,6 +199,67 @@ TEST(ObsInvariance, MixedShellTrafficIdentical)
     const auto off = runMixedShellTraffic(MachineConfig::t3d(16));
     const auto on = runMixedShellTraffic(observedT3d(16));
     EXPECT_EQ(off, on);
+}
+
+// ---------------------------------------------------------------------
+// Host-parallel scheduler: the same invariance, at 1/2/4/8 workers
+// ---------------------------------------------------------------------
+
+TEST(ObsInvariance, ParallelEm3dIdenticalWithObservabilityOn)
+{
+    for (std::uint32_t pes : {4u, 8u}) {
+        for (em3d::Version v : {em3d::Version::Get, em3d::Version::Put}) {
+            const auto seq = em3d::run(smallEm3d(), v, observedT3d(pes),
+                                       withHostThreads(kSequential));
+            for (int threads : kThreadSweep) {
+                const auto par = em3d::run(smallEm3d(), v,
+                                           observedT3d(pes),
+                                           withHostThreads(threads));
+                EXPECT_EQ(par.elapsed, seq.elapsed)
+                    << em3d::versionName(v) << " at " << pes
+                    << " PEs, " << threads << " host threads";
+                EXPECT_EQ(par.checksum, seq.checksum)
+                    << em3d::versionName(v) << " at " << pes
+                    << " PEs, " << threads << " host threads";
+            }
+        }
+    }
+}
+
+TEST(ObsInvariance, ParallelStorePushIdenticalObservedAndNot)
+{
+    for (std::uint32_t pes : {8u, 32u}) {
+        const auto seq = runStorePush(MachineConfig::t3d(pes), 3,
+                                      withHostThreads(kSequential));
+        for (int threads : kThreadSweep) {
+            EXPECT_EQ(runStorePush(MachineConfig::t3d(pes), 3,
+                                   withHostThreads(threads)),
+                      seq)
+                << pes << " PEs, " << threads << " host threads, obs off";
+            EXPECT_EQ(runStorePush(observedT3d(pes), 3,
+                                   withHostThreads(threads)),
+                      seq)
+                << pes << " PEs, " << threads << " host threads, obs on";
+        }
+    }
+}
+
+TEST(ObsInvariance, ParallelMixedShellTrafficMatchesSequential)
+{
+    // Messages, fetch&inc (the grant path), prefetch gets and bulk
+    // transfers all crossing shard boundaries.
+    const auto seq = runMixedShellTraffic(MachineConfig::t3d(16),
+                                          withHostThreads(kSequential));
+    for (int threads : kThreadSweep) {
+        EXPECT_EQ(runMixedShellTraffic(MachineConfig::t3d(16),
+                                       withHostThreads(threads)),
+                  seq)
+            << threads << " host threads";
+        EXPECT_EQ(runMixedShellTraffic(observedT3d(16),
+                                       withHostThreads(threads)),
+                  seq)
+            << threads << " host threads (observed)";
+    }
 }
 
 #if T3D_OBS_ENABLED

@@ -13,7 +13,11 @@
  *     rewrite that shifts model time fails loudly;
  *  3. stress shapes — every PE parked in store_sync / barrier /
  *     message-wait at once — exercise the wakeup path where an
- *     indexed scheduler is most tempted to cut corners.
+ *     indexed scheduler is most tempted to cut corners;
+ *  4. the host-parallel scheduler run at 1/2/4/8 worker threads
+ *     reproduces the sequential finish times bit-identically for
+ *     every shape above (the tentpole invariant of the sharded
+ *     lookahead-window scheduler).
  */
 
 #include <cstdint>
@@ -36,6 +40,18 @@ using splitc::GlobalAddr;
 using splitc::Proc;
 using splitc::ProcTask;
 using splitc::runSpmd;
+
+/** Scheduler selection: -1 sequential, N >= 1 parallel N threads. */
+splitc::SplitcConfig
+withHostThreads(int host_threads)
+{
+    splitc::SplitcConfig cfg;
+    cfg.hostThreads = host_threads;
+    return cfg;
+}
+
+constexpr int kSequential = -1;
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
 
 /** FNV-1a over a finish-time vector: one word per PE. */
 std::uint64_t
@@ -111,7 +127,8 @@ TEST(SchedDeterminism, Em3dMatchesSeedGolden)
 // ---------------------------------------------------------------------
 
 std::vector<Cycles>
-runStorePush(std::uint32_t pes, int iters)
+runStorePush(std::uint32_t pes, int iters,
+             const splitc::SplitcConfig &cfg = {})
 {
     Machine m(MachineConfig::t3d(pes));
     constexpr Addr valsBase = 0x40000;
@@ -155,7 +172,7 @@ runStorePush(std::uint32_t pes, int iters)
             co_await p.barrier();
         }
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(SchedDeterminism, StorePushFinishTimes)
@@ -190,7 +207,8 @@ TEST(SchedDeterminism, StorePushFinishTimes)
  *  a long stretch, then feeds them all. Exercises mass wakeup from
  *  one producer's resume. */
 std::vector<Cycles>
-runAllParkedInStoreSync(std::uint32_t pes)
+runAllParkedInStoreSync(std::uint32_t pes,
+                        const splitc::SplitcConfig &cfg = {})
 {
     Machine m(MachineConfig::t3d(pes));
     constexpr Addr ghostBase = 0x50000;
@@ -211,7 +229,7 @@ runAllParkedInStoreSync(std::uint32_t pes)
         }
         co_await p.barrier();
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(SchedDeterminism, AllParkedInStoreSync)
@@ -225,7 +243,8 @@ TEST(SchedDeterminism, AllParkedInStoreSync)
 
 /** Every PE but 0 parks waiting for a user-level message. */
 std::vector<Cycles>
-runAllParkedInMessageWait(std::uint32_t pes)
+runAllParkedInMessageWait(std::uint32_t pes,
+                          const splitc::SplitcConfig &cfg = {})
 {
     Machine m(MachineConfig::t3d(pes));
     return runSpmd(m, [&](Proc &p) -> ProcTask {
@@ -240,7 +259,7 @@ runAllParkedInMessageWait(std::uint32_t pes)
         }
         co_await p.barrier();
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(SchedDeterminism, AllParkedInMessageWait)
@@ -255,7 +274,7 @@ TEST(SchedDeterminism, AllParkedInMessageWait)
 /** Every PE parks in the barrier with skewed arrival order (highest
  *  PE arrives first). */
 std::vector<Cycles>
-runSkewedBarrier(std::uint32_t pes)
+runSkewedBarrier(std::uint32_t pes, const splitc::SplitcConfig &cfg = {})
 {
     Machine m(MachineConfig::t3d(pes));
     return runSpmd(m, [&](Proc &p) -> ProcTask {
@@ -264,7 +283,7 @@ runSkewedBarrier(std::uint32_t pes)
             co_await p.barrier();
         }
         co_return;
-    });
+    }, cfg);
 }
 
 TEST(SchedDeterminism, SkewedBarrierWaves)
@@ -274,6 +293,82 @@ TEST(SchedDeterminism, SkewedBarrierWaves)
     const auto second = runSkewedBarrier(32);
     EXPECT_EQ(first, second);
     EXPECT_EQ(finishHash(first), golden32);
+}
+
+// ---------------------------------------------------------------------
+// Host-parallel scheduler: every shape above, at 1/2/4/8 worker
+// threads, diffed against the sequential reference run
+// ---------------------------------------------------------------------
+
+TEST(SchedDeterminism, ParallelEm3dMatchesSequential)
+{
+    for (std::uint32_t pes : {4u, 8u}) {
+        for (em3d::Version v :
+             {em3d::Version::Get, em3d::Version::Put,
+              em3d::Version::Bulk}) {
+            const auto seq = em3d::run(smallEm3d(), v, pes,
+                                       withHostThreads(kSequential));
+            for (int threads : kThreadSweep) {
+                const auto par = em3d::run(smallEm3d(), v, pes,
+                                           withHostThreads(threads));
+                EXPECT_EQ(par.elapsed, seq.elapsed)
+                    << em3d::versionName(v) << " at " << pes
+                    << " PEs, " << threads << " host threads";
+                EXPECT_EQ(par.checksum, seq.checksum)
+                    << em3d::versionName(v) << " at " << pes
+                    << " PEs, " << threads << " host threads";
+            }
+        }
+    }
+}
+
+TEST(SchedDeterminism, ParallelStorePushMatchesSequential)
+{
+    for (std::uint32_t pes : {4u, 8u, 16u, 32u}) {
+        const auto seq =
+            runStorePush(pes, 3, withHostThreads(kSequential));
+        for (int threads : kThreadSweep) {
+            const auto par =
+                runStorePush(pes, 3, withHostThreads(threads));
+            EXPECT_EQ(par, seq) << "at " << pes << " PEs, " << threads
+                                << " host threads";
+        }
+    }
+}
+
+TEST(SchedDeterminism, ParallelStressShapesMatchSequential)
+{
+    const auto seq_store =
+        runAllParkedInStoreSync(32, withHostThreads(kSequential));
+    const auto seq_msg =
+        runAllParkedInMessageWait(16, withHostThreads(kSequential));
+    const auto seq_barrier =
+        runSkewedBarrier(32, withHostThreads(kSequential));
+    for (int threads : kThreadSweep) {
+        EXPECT_EQ(runAllParkedInStoreSync(32, withHostThreads(threads)),
+                  seq_store)
+            << threads << " host threads";
+        EXPECT_EQ(runAllParkedInMessageWait(16, withHostThreads(threads)),
+                  seq_msg)
+            << threads << " host threads";
+        EXPECT_EQ(runSkewedBarrier(32, withHostThreads(threads)),
+                  seq_barrier)
+            << threads << " host threads";
+    }
+}
+
+TEST(SchedDeterminism, ParallelRunsMatchSeedGoldens)
+{
+    // The golden hashes recorded from the seed scheduler must hold
+    // under the parallel scheduler too — same model, same cycles.
+    for (int threads : kThreadSweep) {
+        EXPECT_EQ(finishHash(runStorePush(32, 3, withHostThreads(threads))),
+                  12136788156465987205ull)
+            << threads << " host threads";
+    }
+    const auto r = em3d::run(smallEm3d(), em3d::Version::Get, 4,
+                             withHostThreads(4));
+    EXPECT_EQ(r.elapsed, 40815u);
 }
 
 } // namespace
