@@ -222,8 +222,23 @@ threadSweep()
     return sweep;
 }
 
+/** Why the parallel-scheduler sweep was not run ("" = it ran).
+ *  hardware_concurrency() reports 0 when the count is unknown; treat
+ *  that like a single core rather than publish a speedup the host
+ *  cannot have produced. */
+std::string
+sweepSkippedReason()
+{
+    if (std::thread::hardware_concurrency() <= 1)
+        return "host_cores <= 1: scheduler workers cannot run "
+               "concurrently, so speedup_vs_sequential would be a "
+               "misleading ~1.0";
+    return "";
+}
+
 bool
 writeSweepJson(const std::vector<SweepOutcome> &cases,
+               const std::string &skipped_reason,
                const std::string &path)
 {
     const em3d::Config cfg = sweepConfig();
@@ -234,7 +249,10 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
     os << "{\n"
        << "  \"bench\": \"sim_speed_em3d_sweep\",\n"
        << "  \"host_cores\": " << std::thread::hardware_concurrency()
-       << ",\n"
+       << ",\n";
+    if (!skipped_reason.empty())
+        os << "  \"skipped_reason\": \"" << skipped_reason << "\",\n";
+    os
        << "  \"config\": {\"nodes_per_pe\": " << cfg.nodesPerPe
        << ", \"degree\": " << cfg.degree
        << ", \"remote_fraction\": " << cfg.remoteFraction
@@ -279,11 +297,18 @@ main(int argc, char **argv)
     }
 
     bool diverged = false;
+    const std::string skipped_reason = sweepSkippedReason();
+    if (!skipped_reason.empty())
+        std::cout << "parallel sweep skipped: " << skipped_reason
+                  << "\n";
     std::vector<SweepOutcome> cases;
     for (std::uint32_t pes : {32u, 256u}) {
         const SweepOutcome seq = runSweep(pes, 0);
         cases.push_back(seq);
-        for (unsigned threads : threadSweep()) {
+        const std::vector<unsigned> sweep =
+            skipped_reason.empty() ? threadSweep()
+                                   : std::vector<unsigned>{};
+        for (unsigned threads : sweep) {
             SweepOutcome par = runSweep(pes, threads);
             par.speedupVsSequential = seq.hostSeconds / par.hostSeconds;
             // The parallel scheduler claims bit-identical timing:
@@ -313,7 +338,8 @@ main(int argc, char **argv)
                       << " checksum=" << c.checksum << "\n";
         }
     }
-    if (!writeSweepJson(cases, "BENCH_sim_speed.json")) {
+    if (!writeSweepJson(cases, skipped_reason,
+                        "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;
     }

@@ -90,7 +90,7 @@ AlphaCore::storeBytes(Addr va, const void *src, std::size_t len)
 std::uint64_t
 AlphaCore::loadU64(Addr va)
 {
-    T3D_ASSERT((va & 7) == 0, "unaligned LDQ: va=", va);
+    T3D_FATAL_IF((va & 7) != 0, "unaligned LDQ: va=", va);
     std::uint64_t v = 0;
     loadBytes(va, &v, sizeof(v));
     return v;
@@ -99,7 +99,7 @@ AlphaCore::loadU64(Addr va)
 std::uint32_t
 AlphaCore::loadU32(Addr va)
 {
-    T3D_ASSERT((va & 3) == 0, "unaligned LDL: va=", va);
+    T3D_FATAL_IF((va & 3) != 0, "unaligned LDL: va=", va);
     std::uint32_t v = 0;
     loadBytes(va, &v, sizeof(v));
     return v;
@@ -108,14 +108,14 @@ AlphaCore::loadU32(Addr va)
 void
 AlphaCore::storeU64(Addr va, std::uint64_t value)
 {
-    T3D_ASSERT((va & 7) == 0, "unaligned STQ: va=", va);
+    T3D_FATAL_IF((va & 7) != 0, "unaligned STQ: va=", va);
     storeBytes(va, &value, sizeof(value));
 }
 
 void
 AlphaCore::storeU32(Addr va, std::uint32_t value)
 {
-    T3D_ASSERT((va & 3) == 0, "unaligned STL: va=", va);
+    T3D_FATAL_IF((va & 3) != 0, "unaligned STL: va=", va);
     storeBytes(va, &value, sizeof(value));
 }
 

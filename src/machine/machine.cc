@@ -31,7 +31,7 @@ Machine::Machine(const MachineConfig &config)
 Node &
 Machine::node(PeId pe)
 {
-    T3D_ASSERT(pe < _nodes.size(), "node index out of range: ", pe);
+    T3D_FATAL_IF(pe >= _nodes.size(), "node index out of range: ", pe);
     return *_nodes[pe];
 }
 

@@ -34,13 +34,13 @@ Node::~Node()
 Addr
 Node::alloc(std::size_t bytes, std::size_t align)
 {
-    T3D_ASSERT(align > 0 && (align & (align - 1)) == 0,
-               "alignment must be a power of two");
+    T3D_FATAL_IF(align == 0 || (align & (align - 1)) != 0,
+                 "alignment must be a power of two");
     _allocNext = (_allocNext + align - 1) & ~(Addr{align} - 1);
     Addr result = _allocNext;
     _allocNext += bytes;
-    T3D_ASSERT(_allocNext <= alpha::segBytes,
-               "node ", _pe, " out of local memory");
+    T3D_FATAL_IF(_allocNext > alpha::segBytes,
+                 "node ", _pe, " out of local memory");
     return result;
 }
 
@@ -70,7 +70,7 @@ Node::loadU64(Addr va)
 std::uint32_t
 Node::loadU32(Addr va)
 {
-    T3D_ASSERT((va & 3) == 0, "unaligned LDL: va=", va);
+    T3D_FATAL_IF((va & 3) != 0, "unaligned LDL: va=", va);
     if (!vaIsAnnexed(va))
         return _core.loadU32(va);
     // Remote LDL: same round trip as a quadword; extract the word.

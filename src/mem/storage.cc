@@ -52,9 +52,9 @@ Storage::destroyChunks()
 void
 Storage::checkRange(Addr addr, std::size_t len) const
 {
-    T3D_ASSERT(addr + len <= _limit && addr + len >= addr,
-               "storage access out of range: addr=", addr, " len=", len,
-               " limit=", _limit);
+    T3D_FATAL_IF(addr + len > _limit || addr + len < addr,
+                 "storage access out of range: addr=", addr, " len=", len,
+                 " limit=", _limit);
 }
 
 Storage::Chunk &

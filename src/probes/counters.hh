@@ -63,6 +63,10 @@ namespace t3dsim::probes
     X(msgSends, "messages", "shell/remote_engine.cc sendMessage()",         \
       "Tab. §7")                                                            \
     X(msgInterrupts, "messages", "shell/msg_queue.cc dequeue()", "Tab. §7") \
+    X(msgSpills, "messages", "shell/msg_queue.cc deliver()", "§7.3")        \
+    X(prefetchSpills, "requests", "shell/prefetch.cc issue()", "Fig. 6")    \
+    X(bltEngineStalls, "stalls", "shell/blt.cc invoke()", "§6.2")           \
+    X(amOverflows, "deposits", "splitc/proc.cc amDeposit()", "§7.4")        \
     X(remoteReads, "reads", "shell/remote_engine.cc read()", "Fig. 4")      \
     X(remoteWriteLines, "lines",                                            \
       "shell/remote_engine.cc injectWriteLine()", "Fig. 5/7")               \

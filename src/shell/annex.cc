@@ -16,16 +16,16 @@ AnnexFile::AnnexFile(PeId local_pe)
 bool
 AnnexFile::isProgrammed(unsigned idx) const
 {
-    T3D_ASSERT(idx < _entries.size(), "annex index out of range: ", idx);
+    T3D_FATAL_IF(idx >= _entries.size(), "annex index out of range: ", idx);
     return _programmed[idx];
 }
 
 void
 AnnexFile::set(unsigned idx, const AnnexEntry &entry)
 {
-    T3D_ASSERT(idx < _entries.size(), "annex index out of range: ", idx);
-    T3D_ASSERT(idx != 0 || entry.pe == _localPe,
-               "annex entry 0 is hardwired to the local processor");
+    T3D_FATAL_IF(idx >= _entries.size(), "annex index out of range: ", idx);
+    T3D_FATAL_IF(idx == 0 && entry.pe != _localPe,
+                 "annex entry 0 is hardwired to the local processor");
     _entries[idx] = entry;
     _programmed[idx] = true;
     ++_updates;
@@ -34,7 +34,7 @@ AnnexFile::set(unsigned idx, const AnnexEntry &entry)
 const AnnexEntry &
 AnnexFile::get(unsigned idx) const
 {
-    T3D_ASSERT(idx < _entries.size(), "annex index out of range: ", idx);
+    T3D_FATAL_IF(idx >= _entries.size(), "annex index out of range: ", idx);
     return _entries[idx];
 }
 

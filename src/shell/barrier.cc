@@ -22,7 +22,12 @@ BarrierNetwork::arrive(PeId pe, Cycles when)
                _generation);
     _present[pe] = true;
     ++_arrived;
-    _maxArrival = std::max(_maxArrival, when);
+    // A stale arrival timestamp from before the previous generation's
+    // exit cannot rewind the wired OR: the line only clears at that
+    // exit, so an earlier @p when is clamped to it. Without this a
+    // new generation (whose _maxArrival restarts at 0) could compute
+    // an exit time before the previous generation's.
+    _maxArrival = std::max({_maxArrival, when, _lastExit});
     if (complete())
         return exitTime();
     return std::nullopt;

@@ -26,6 +26,25 @@ BlockTransferEngine::invoke()
     // The OS call serializes the processor: pending stores drain and
     // the full startup overhead is charged.
     _core.mb();
+
+    // One engine per node (§6.2): if it is still streaming the
+    // allowed number of transfers, the OS call blocks until the
+    // earliest outstanding one completes.
+    while (!_outstanding.empty() &&
+           _outstanding.front() <= _core.clock().now()) {
+        _outstanding.pop_front();
+    }
+    if (_config.bltMaxInFlight > 0 &&
+        _outstanding.size() >= _config.bltMaxInFlight) {
+        ++_engineStalls;
+        T3D_COUNT(_ctr, bltEngineStalls);
+        const Cycles free_at = _outstanding.front();
+        T3D_TRACE(_trace, span(_localPe, "blt_engine_stall",
+                               _core.clock().now(), free_at));
+        _core.clock().syncTo(free_at);
+        _outstanding.pop_front();
+    }
+
     _core.charge(_config.bltStartupCycles);
     T3D_COUNT_ADD(_ctr, bltSetupCycles, _core.clock().now() - t0);
     T3D_TRACE(_trace,
@@ -36,6 +55,9 @@ BlockTransferEngine::invoke()
 void
 BlockTransferEngine::noteTransfer(const char *name, Cycles start)
 {
+    auto pos = std::lower_bound(_outstanding.begin(), _outstanding.end(),
+                                _lastCompletion);
+    _outstanding.insert(pos, _lastCompletion);
     T3D_COUNT_ADD(_ctr, bltTransferCycles, _lastCompletion - start);
     T3D_TRACE(_trace, span(_localPe, name, start, _lastCompletion));
 }

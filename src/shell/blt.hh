@@ -21,6 +21,7 @@
 #define T3DSIM_SHELL_BLT_HH
 
 #include <cstdint>
+#include <deque>
 
 #include "alpha/core.hh"
 #include "probes/counters.hh"
@@ -76,6 +77,9 @@ class BlockTransferEngine
 
     std::uint64_t transfersStarted() const { return _transfers; }
 
+    /** Invocations that stalled waiting for a busy engine. */
+    std::uint64_t engineStalls() const { return _engineStalls; }
+
     /** Attach the local node's counters and the machine trace sink. */
     void
     setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace)
@@ -101,6 +105,12 @@ class BlockTransferEngine
     alpha::AlphaCore &_core;
     Cycles _lastCompletion = 0;
     std::uint64_t _transfers = 0;
+    std::uint64_t _engineStalls = 0;
+
+    /** Completion times of transfers still streaming, sorted. The
+     *  engine sustains bltMaxInFlight of them; invoking it past that
+     *  stalls the caller until the earliest one completes. */
+    std::deque<Cycles> _outstanding;
 
     probes::PerfCounters *_ctr = nullptr;
     probes::TraceSink *_trace = nullptr;

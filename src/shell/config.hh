@@ -110,7 +110,36 @@ struct ShellConfig
 
     /** Additional switch to a user-level message handler: 33 us. */
     Cycles msgHandlerCycles = usToCycles(33.0);
+
+    /**
+     * Messages the memory-resident hardware queue holds before the
+     * OS spills arrivals to a DRAM overflow region (§7.3 describes a
+     * fixed-size queue the system software drains). 4080 four-word
+     * entries ≈ the 128 KB queue segment of the real machine.
+     */
+    unsigned msgQueueCapacity = 4080;
+
+    /**
+     * Extra receiver cost to recover one spilled message from the
+     * DRAM overflow region at dequeue time (assumption, DESIGN.md:
+     * an OS copy-back on the interrupt path, ~3 us).
+     */
+    Cycles msgSpillDrainCycles = usToCycles(3.0);
     /// @}
+
+    /**
+     * Extra cost charged at issue and again at pop for a binding
+     * prefetch issued past the 16 hardware slots: the shell parks
+     * the reply in a DRAM-side spill buffer instead of corrupting
+     * the FIFO (assumption, DESIGN.md — the real hardware corrupts
+     * state, so any finite cost is an upper-bound idealization).
+     */
+    Cycles prefetchSpillCycles = 60;
+
+    /** Concurrent DMA transfers the BLT engine sustains; invoking
+     *  it while saturated stalls the caller until a transfer
+     *  completes (§6.2: one engine per node). 0 disables the limit. */
+    unsigned bltMaxInFlight = 1;
 
     /** Annex register update via store-conditional (§3.2): 23 cy. */
     Cycles annexUpdateCycles = 23;

@@ -8,21 +8,21 @@ namespace t3dsim::shell
 std::uint64_t
 FetchIncRegisters::fetchInc(unsigned reg)
 {
-    T3D_ASSERT(reg < numRegs, "fetch&inc register out of range: ", reg);
+    T3D_FATAL_IF(reg >= numRegs, "fetch&inc register out of range: ", reg);
     return _regs[reg]++;
 }
 
 void
 FetchIncRegisters::set(unsigned reg, std::uint64_t value)
 {
-    T3D_ASSERT(reg < numRegs, "fetch&inc register out of range: ", reg);
+    T3D_FATAL_IF(reg >= numRegs, "fetch&inc register out of range: ", reg);
     _regs[reg] = value;
 }
 
 std::uint64_t
 FetchIncRegisters::get(unsigned reg) const
 {
-    T3D_ASSERT(reg < numRegs, "fetch&inc register out of range: ", reg);
+    T3D_FATAL_IF(reg >= numRegs, "fetch&inc register out of range: ", reg);
     return _regs[reg];
 }
 

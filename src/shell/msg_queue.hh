@@ -8,6 +8,15 @@
  * queue, and dispatching to a user message handler costs a further
  * 33 us. Those costs are charged to the *receiving* processor when
  * it takes a message out of the queue.
+ *
+ * The memory-resident queue holds msgQueueCapacity entries; arrivals
+ * past that are spilled to a DRAM overflow region by system software
+ * instead of being dropped (or aborting the model). A spilled
+ * message costs the receiver an extra msgSpillDrainCycles copy-back
+ * when it is finally dequeued, so a flooded receiver slows down but
+ * the run completes — matching the paper's observation that the
+ * receiver eats all queue-pressure cost. Under-capacity traffic is
+ * charged exactly as before the spill path existed.
  */
 
 #ifndef T3DSIM_SHELL_MSG_QUEUE_HH
@@ -46,7 +55,7 @@ class MessageQueue
     void deliver(Cycles arrive, const std::uint64_t words[4]);
 
     /** True if a message is queued (regardless of arrival time). */
-    bool hasMessage() const { return !_queue.empty(); }
+    bool hasMessage() const { return !_hw.empty(); }
 
     /** Arrival time of the queue head, if any. */
     std::optional<Cycles> headArrival() const;
@@ -61,7 +70,15 @@ class MessageQueue
      */
     std::pair<Message, Cycles> dequeue(Cycles now, bool handler_mode);
 
-    std::size_t depth() const { return _queue.size(); }
+    /** Queued messages, hardware segment plus spill region. */
+    std::size_t depth() const { return _hw.size() + _spill.size(); }
+
+    /** Messages currently parked in the DRAM overflow region. */
+    std::size_t spillDepth() const { return _spill.size(); }
+
+    /** Messages that ever entered the overflow region. */
+    std::uint64_t spilled() const { return _spilled; }
+
     std::uint64_t delivered() const { return _delivered; }
 
     /**
@@ -92,9 +109,28 @@ class MessageQueue
     }
 
   private:
+    /** A queued message plus where it currently resides. */
+    struct Entry
+    {
+        Message msg;
+
+        /** True if the entry ever sat in the DRAM overflow region
+         *  (the copy-back cost is charged at dequeue). */
+        bool spilled = false;
+    };
+
     const ShellConfig &_config;
-    std::deque<Message> _queue;
+
+    /**
+     * Invariant: concat(_hw, _spill) is sorted by arrival, and
+     * _spill is non-empty only while _hw is at capacity — system
+     * software refills the hardware segment as it drains.
+     */
+    std::deque<Entry> _hw;
+    std::deque<Entry> _spill;
+
     std::uint64_t _delivered = 0;
+    std::uint64_t _spilled = 0;
     std::function<void()> _onDeliver;
 
     probes::PerfCounters *_ctr = nullptr;

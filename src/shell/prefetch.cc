@@ -16,15 +16,22 @@ PrefetchQueue::PrefetchQueue(const ShellConfig &config, PeId local_pe,
 void
 PrefetchQueue::issue(PeId dst, Addr offset)
 {
-    T3D_ASSERT(!full(),
-               "prefetch issued into a full queue (hardware would "
-               "corrupt the FIFO)");
+    // Issuing past the hardware slots spills the reply to a DRAM
+    // buffer instead of corrupting the FIFO: charge the spill cost
+    // here and mark the slot so pop() charges it again.
+    const bool spill = full();
+    if (spill) {
+        ++_spills;
+        T3D_COUNT(_ctr, prefetchSpills);
+    }
     ++_issued;
     T3D_COUNT(_ctr, prefetchIssues);
 
     Clock &clock = _core.clock();
     const Cycles t0 = clock.now();
     clock.advance(_config.prefetchIssueCycles);
+    if (spill)
+        clock.advance(_config.prefetchSpillCycles);
 
     // The request leaves through the shell's injection channel;
     // back-to-back prefetches pipeline at the injection interval.
@@ -35,6 +42,7 @@ PrefetchQueue::issue(PeId dst, Addr offset)
     const Cycles transit = _machine.transitCycles(_localPe, dst);
 
     Slot slot{};
+    slot.spilled = spill;
     if (dst == _localPe) {
         // Prefetch of a local address: served by local memory, no
         // network transit. (Useful and legal; rare in practice.)
@@ -66,7 +74,7 @@ PrefetchQueue::issue(PeId dst, Addr offset)
 std::uint64_t
 PrefetchQueue::pop()
 {
-    T3D_ASSERT(!_fifo.empty(), "pop from an empty prefetch queue");
+    T3D_FATAL_IF(_fifo.empty(), "pop from an empty prefetch queue");
     ++_popped;
     T3D_COUNT(_ctr, prefetchDrains);
 
@@ -77,6 +85,10 @@ PrefetchQueue::pop()
     const Cycles t0 = clock.now();
     clock.syncTo(slot.arrival);
     clock.advance(_config.prefetchPopCycles);
+    // A spilled entry is recovered from the DRAM-side buffer rather
+    // than the memory-mapped FIFO head.
+    if (slot.spilled)
+        clock.advance(_config.prefetchSpillCycles);
     T3D_TRACE(_trace, span(_localPe, "prefetch_pop", t0, clock.now()));
     return slot.data;
 }

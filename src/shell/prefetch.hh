@@ -41,8 +41,11 @@ class PrefetchQueue
     /**
      * Issue a binding prefetch of the quadword at @p offset on node
      * @p dst. Charges the issue cost to the local clock. Issuing
-     * into a full queue is a programming error (the hardware would
-     * corrupt state); the model panics.
+     * past the hardware slots is legal-but-extreme traffic: the real
+     * hardware would corrupt the FIFO, so the model idealizes the
+     * overflow as a DRAM-side spill buffer — the entry pays
+     * prefetchSpillCycles extra at issue and again at pop, and the
+     * under-capacity cost structure is untouched.
      */
     void issue(PeId dst, Addr offset);
 
@@ -73,6 +76,9 @@ class PrefetchQueue
     std::uint64_t issued() const { return _issued; }
     std::uint64_t popped() const { return _popped; }
 
+    /** Prefetches that overflowed into the spill buffer. */
+    std::uint64_t spills() const { return _spills; }
+
     /** Attach the local node's counters and the machine trace sink. */
     void
     setObservability(probes::PerfCounters *ctr, probes::TraceSink *trace)
@@ -86,6 +92,10 @@ class PrefetchQueue
     {
         Cycles arrival;
         std::uint64_t data;
+
+        /** Issued past the hardware slots: pays the spill cost at
+         *  pop as well as at issue. */
+        bool spilled = false;
     };
 
     const ShellConfig &_config;
@@ -97,6 +107,7 @@ class PrefetchQueue
     Cycles _injectFree = 0;
     std::uint64_t _issued = 0;
     std::uint64_t _popped = 0;
+    std::uint64_t _spills = 0;
 
     probes::PerfCounters *_ctr = nullptr;
     probes::TraceSink *_trace = nullptr;

@@ -52,6 +52,21 @@ void informImpl(const std::string &msg);
     ::t3dsim::detail::fatalImpl(__FILE__, __LINE__,                        \
         ::t3dsim::detail::composeMessage(__VA_ARGS__))
 
+/**
+ * Exit cleanly when a condition caused by invalid user input holds.
+ * The typed-error counterpart of T3D_ASSERT: use it for conditions a
+ * workload can trigger with legal API calls (bad lengths, draining
+ * an empty queue, a receiver that never frees an AM slot), keeping
+ * T3D_ASSERT for genuine simulator invariants.
+ */
+#define T3D_FATAL_IF(cond, ...)                                            \
+    do {                                                                   \
+        if (cond) {                                                        \
+            ::t3dsim::detail::fatalImpl(__FILE__, __LINE__,                \
+                ::t3dsim::detail::composeMessage(__VA_ARGS__));            \
+        }                                                                  \
+    } while (0)
+
 /** Panic unless a simulator invariant holds. */
 #define T3D_ASSERT(cond, ...)                                              \
     do {                                                                   \

@@ -92,10 +92,29 @@ struct SplitcConfig
     /**
      * Slots in the per-node shared-memory AM queue. A deposit into a
      * slot whose previous message has not been dispatched yet is an
-     * overflow (the consumer is not draining fast enough); the model
-     * diagnoses it instead of silently losing the message.
+     * overflow (the consumer is not draining fast enough); system
+     * software reroutes the deposit into a DRAM overflow ring that
+     * the receiver recovers from with one modeled interrupt per
+     * spilled message — a sustained flood becomes an interrupt storm
+     * that slows the receiver instead of aborting the run.
      */
     std::uint32_t amQueueSlots = 256;
+
+    /**
+     * Slots in the per-node DRAM overflow ring. Together with the
+     * primary queue this bounds undispatched deposits per receiver;
+     * exhausting both is diagnosed as a typed error (a receiver that
+     * never drains is a deadlocked program, not extreme-but-legal
+     * traffic). The combined rings must fit below Node::allocBase.
+     */
+    std::uint32_t amOverflowSlots = 1024;
+
+    /**
+     * Receiver-side cost to recover one spilled deposit from the
+     * overflow ring: an OS interrupt, same 25 us the message-queue
+     * path charges (§7.3; assumption documented in DESIGN.md).
+     */
+    Cycles amOverflowDrainCycles = usToCycles(25.0);
 
     /**
      * Host worker threads for the scheduler (a host-side knob; it

@@ -26,6 +26,20 @@ constexpr Addr amQueueBase = 4 * KiB;
 /** Slot layout: [flag|tag, a0, a1, a2, a3] = 5 words. */
 constexpr Addr amSlotBytes = 40;
 
+/**
+ * Committed-storage view of one word of another node's memory: the
+ * occupancy oracle of the AM deposit path. Untimed (system-software
+ * bookkeeping the paper folds into the deposit overhead) and safe to
+ * call from any host thread under the parallel scheduler.
+ */
+std::uint64_t
+committedWord(machine::Node &node, Addr addr)
+{
+    std::uint64_t value = 0;
+    node.storage().readBlockConcurrent(addr, &value, 8);
+    return value;
+}
+
 } // namespace
 
 Proc::Proc(Scheduler &sched, machine::Machine &machine,
@@ -34,6 +48,15 @@ Proc::Proc(Scheduler &sched, machine::Machine &machine,
       _annexCurrent(0), _ctr(node.countersIfEnabled()),
       _trace(machine.trace())
 {
+    T3D_FATAL_IF(
+        amQueueBase +
+                (Addr{_config.amQueueSlots} + _config.amOverflowSlots) *
+                    amSlotBytes >
+            machine::Node::allocBase,
+        "AM queue rings (", _config.amQueueSlots, " + ",
+        _config.amOverflowSlots, " slots of ", amSlotBytes,
+        " bytes) do not fit in the scratch region below "
+        "Node::allocBase");
     // The §4.5 fix: byte writes into shared data are shipped to the
     // owner and performed locally, making them atomic.
     registerAmHandler(
@@ -282,8 +305,8 @@ Proc::storeBytesSignaling(GlobalAddr dst, const void *src,
     const Addr offset = dst.local();
     const Addr line = offset & ~(Addr{alpha::wbLineBytes} - 1);
     const std::size_t in_line = offset - line;
-    T3D_ASSERT(in_line + len <= alpha::wbLineBytes,
-               "signaling store crosses a line boundary");
+    T3D_FATAL_IF(in_line + len > alpha::wbLineBytes,
+                 "signaling store crosses a line boundary");
 
     std::array<std::uint8_t, alpha::wbLineBytes> data{};
     std::memcpy(data.data() + in_line, src, len);
@@ -346,8 +369,8 @@ Proc::startBarrier()
 {
     // "The global barrier waits for outstanding stores to complete,
     // performs the start-barrier instruction, then polls..." (§7.5)
-    T3D_ASSERT(!_barrierActive,
-               "start-barrier while a barrier is already in flight");
+    T3D_FATAL_IF(_barrierActive,
+                 "start-barrier while a barrier is already in flight");
     _node.waitRemoteWrites();
     _putsOutstanding = false;
     _node.core().charge(_config.startBarrierCycles);
@@ -368,7 +391,7 @@ Proc::startBarrier()
 BarrierAwaiter
 Proc::endBarrier()
 {
-    T3D_ASSERT(_barrierActive, "end-barrier without start-barrier");
+    T3D_FATAL_IF(!_barrierActive, "end-barrier without start-barrier");
     return BarrierAwaiter{*this};
 }
 
@@ -399,7 +422,7 @@ Proc::noteBarrierComplete()
 void
 Proc::bulkReadUncached(Addr local_dst, GlobalAddr src, std::size_t bytes)
 {
-    T3D_ASSERT(bytes % 8 == 0, "bulk transfers are word-granular");
+    T3D_FATAL_IF(bytes % 8 != 0, "bulk transfers are word-granular");
     const unsigned idx = annexFor(src.pe(), shell::ReadMode::Uncached);
     auto &core = _node.core();
     for (std::size_t off = 0; off < bytes; off += 8) {
@@ -411,7 +434,7 @@ Proc::bulkReadUncached(Addr local_dst, GlobalAddr src, std::size_t bytes)
 void
 Proc::bulkReadCached(Addr local_dst, GlobalAddr src, std::size_t bytes)
 {
-    T3D_ASSERT(bytes % 8 == 0, "bulk transfers are word-granular");
+    T3D_FATAL_IF(bytes % 8 != 0, "bulk transfers are word-granular");
     const unsigned idx = annexFor(src.pe(), shell::ReadMode::Cached);
     auto &core = _node.core();
     const std::size_t line = core.dcache().lineBytes();
@@ -435,7 +458,7 @@ Proc::bulkReadCached(Addr local_dst, GlobalAddr src, std::size_t bytes)
 void
 Proc::bulkReadPrefetch(Addr local_dst, GlobalAddr src, std::size_t bytes)
 {
-    T3D_ASSERT(bytes % 8 == 0, "bulk transfers are word-granular");
+    T3D_FATAL_IF(bytes % 8 != 0, "bulk transfers are word-granular");
     const unsigned idx = annexFor(src.pe());
     auto &core = _node.core();
     auto &pq = _node.shell().prefetch();
@@ -481,7 +504,7 @@ Proc::bulkRead(Addr local_dst, GlobalAddr src, std::size_t bytes)
 void
 Proc::bulkWriteStores(GlobalAddr dst, Addr local_src, std::size_t bytes)
 {
-    T3D_ASSERT(bytes % 8 == 0, "bulk transfers are word-granular");
+    T3D_FATAL_IF(bytes % 8 != 0, "bulk transfers are word-granular");
     auto &core = _node.core();
     if (dst.pe() == pe()) {
         for (std::size_t off = 0; off < bytes; off += 8)
@@ -531,7 +554,7 @@ void
 Proc::bulkPut(GlobalAddr dst, Addr local_src, std::size_t bytes)
 {
     // Pipelined non-blocking stores; completion at the next sync().
-    T3D_ASSERT(bytes % 8 == 0, "bulk transfers are word-granular");
+    T3D_FATAL_IF(bytes % 8 != 0, "bulk transfers are word-granular");
     auto &core = _node.core();
     if (dst.pe() == pe()) {
         for (std::size_t off = 0; off < bytes; off += 8)
@@ -584,6 +607,13 @@ Proc::amSlotAddr(std::uint64_t slot) const
     return amQueueBase + slot * amSlotBytes;
 }
 
+Addr
+Proc::amOverflowSlotAddr(std::uint64_t slot) const
+{
+    return amQueueBase + _config.amQueueSlots * amSlotBytes +
+        slot * amSlotBytes;
+}
+
 std::uint64_t
 Proc::fetchInc(PeId dst, unsigned reg)
 {
@@ -613,22 +643,36 @@ void
 Proc::amDeposit(PeId dst, std::uint64_t tag,
                 const std::array<std::uint64_t, 4> &args)
 {
-    T3D_ASSERT(dst != pe(), "AM deposit to self is not supported");
+    T3D_FATAL_IF(dst == pe(), "AM deposit to self is not supported");
     _node.core().charge(_config.amDepositOverheadCycles);
 
-    // Claim a slot in the receiver's queue (≈ a remote read, §7.4).
-    const std::uint64_t slot =
-        fetchInc(dst, 0) % _config.amQueueSlots;
-    const Addr base = amSlotAddr(slot);
+    // Claim a ticket in the receiver's queue (≈ a remote read,
+    // §7.4); tickets dispatch in order, so the ticket number is the
+    // deterministic total order of deposits per receiver.
+    const std::uint64_t ticket = fetchInc(dst, 0);
+    const std::uint64_t slot = ticket % _config.amQueueSlots;
+    Addr base = amSlotAddr(slot);
 
-    // Overflow diagnostic: the slot must have been consumed. On the
-    // real machine this silently corrupts the queue; the model stops
-    // with an explanation instead.
-    T3D_ASSERT(_machine.node(dst).storage().readU64(base) == 0,
-               "AM queue overflow on PE ", dst, ": slot ", slot,
-               " still holds an undispatched message (deposits are "
-               "outpacing the consumer; drain with amPoll or enlarge "
-               "SplitcConfig::amQueueSlots)");
+    // Overflow: the primary slot still holds an undispatched
+    // message. On the real machine this silently corrupts the
+    // queue; the model reroutes the deposit into the DRAM overflow
+    // ring, which the receiver recovers from at one modeled
+    // interrupt per message (amOverflowDrainCycles) — an interrupt
+    // storm under sustained flooding, not a process abort.
+    if (committedWord(_machine.node(dst), base) != 0) {
+        base = amOverflowSlotAddr(ticket % _config.amOverflowSlots);
+        T3D_FATAL_IF(
+            committedWord(_machine.node(dst), base) != 0,
+            "AM queue overflow on PE ", dst, ": ticket ", ticket,
+            " found both its primary slot and its overflow-ring slot "
+            "occupied (", _config.amQueueSlots, " + ",
+            _config.amOverflowSlots,
+            " undispatched deposits; the consumer is not draining — "
+            "call amPoll, or enlarge SplitcConfig::amQueueSlots / "
+            "amOverflowSlots)");
+        ++_amOverflows;
+        T3D_COUNT(_ctr, amOverflows);
+    }
 
     // Deposit the four data words (pipelined puts)...
     for (unsigned i = 0; i < 4; ++i)
@@ -661,11 +705,25 @@ bool
 Proc::amPoll()
 {
     auto &core = _node.core();
-    const Addr base = amSlotAddr(_amHead % _config.amQueueSlots);
+    Addr base = amSlotAddr(_amHead % _config.amQueueSlots);
 
-    const std::uint64_t flag = core.loadU64(base);
-    if (flag == 0)
-        return false;
+    std::uint64_t flag = core.loadU64(base);
+    if (flag == 0) {
+        // The next ticket's message may have been rerouted to the
+        // DRAM overflow ring by a sender that found the primary slot
+        // occupied. The occupancy probe is the same untimed
+        // system-software peek the sender uses, so a poll that finds
+        // nothing costs exactly what it did before the overflow ring
+        // existed; recovering a spilled message pays a full OS
+        // interrupt.
+        const Addr ovf =
+            amOverflowSlotAddr(_amHead % _config.amOverflowSlots);
+        if (core.peekU64(ovf) == 0)
+            return false;
+        base = ovf;
+        flag = core.loadU64(base);
+        core.charge(_config.amOverflowDrainCycles);
+    }
 
     std::array<std::uint64_t, 4> args{};
     for (unsigned i = 0; i < 4; ++i)
@@ -677,7 +735,7 @@ Proc::amPoll()
 
     const std::uint64_t tag = flag - 1;
     auto it = _amHandlers.find(tag);
-    T3D_ASSERT(it != _amHandlers.end(), "no AM handler for tag ", tag);
+    T3D_FATAL_IF(it == _amHandlers.end(), "no AM handler for tag ", tag);
     it->second(*this, args);
     return true;
 }

@@ -226,6 +226,9 @@ class Proc
     void advanceStoreWatermark(std::uint64_t b) { _storeWatermark += b; }
     std::uint64_t amWatermark() const { return _amWatermark; }
     void advanceAmWatermark(std::uint64_t n) { _amWatermark += n; }
+
+    /** Deposits this PE rerouted into a receiver's overflow ring. */
+    std::uint64_t amOverflows() const { return _amOverflows; }
     /// @}
 
     /**
@@ -253,6 +256,10 @@ class Proc
 
     /** Byte offset of AM queue slot @p slot in node memory. */
     Addr amSlotAddr(std::uint64_t slot) const;
+
+    /** Address of slot @p slot of the DRAM overflow ring (placed
+     *  directly after the primary queue). */
+    Addr amOverflowSlotAddr(std::uint64_t slot) const;
 
     Scheduler &_sched;
     machine::Machine &_machine;
@@ -296,6 +303,9 @@ class Proc
 
     /** AM receive cursor (next slot to poll). */
     std::uint64_t _amHead = 0;
+
+    /** Deposits rerouted into a receiver's overflow ring. */
+    std::uint64_t _amOverflows = 0;
 
     std::unordered_map<std::uint64_t, AmHandler> _amHandlers;
 

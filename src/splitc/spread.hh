@@ -37,9 +37,9 @@ allocSymmetric(machine::Machine &machine, std::size_t bytes,
         if (pe == 0)
             base = a;
         else
-            T3D_ASSERT(a == base,
-                       "symmetric allocation diverged on PE ", pe,
-                       ": ", a, " != ", base);
+            T3D_FATAL_IF(a != base,
+                         "symmetric allocation diverged on PE ", pe,
+                         ": ", a, " != ", base);
     }
     return base;
 }
@@ -72,7 +72,7 @@ class SpreadArray
     GlobalPtr<T>
     at(std::uint64_t i) const
     {
-        T3D_ASSERT(i < _total, "spread array index out of range: ", i);
+        T3D_FATAL_IF(i >= _total, "spread array index out of range: ", i);
         const PeId pe = static_cast<PeId>(i % _procs);
         const std::uint64_t row = i / _procs;
         return GlobalPtr<T>::make(pe, _base + row * sizeof(T));

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Differential checker for the seeded stress generator (t3d-fuzz).
+ *
+ * One seed is checked by running the identical Plan under:
+ *
+ *  - the sequential scheduler with counters on (the reference);
+ *  - the sequential scheduler with counters off (observability must
+ *    not move simulated time);
+ *  - the host-parallel scheduler at each requested thread count,
+ *    both with counters on (counter records must match exactly) and
+ *    with counters off (the true multi-shard configuration — with
+ *    counters on the parallel scheduler collapses to one shard).
+ *
+ * Every run must reproduce the reference per-PE finish times and the
+ * memory checksum bit-for-bit; counters-on runs must also reproduce
+ * every per-PE counter record.
+ */
+
+#ifndef T3DSIM_STRESS_DIFFERENTIAL_HH
+#define T3DSIM_STRESS_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "probes/counters.hh"
+#include "sim/types.hh"
+#include "stress/generator.hh"
+
+namespace t3dsim::stress
+{
+
+/** Outcome of one execution of a Plan. */
+struct RunResult
+{
+    std::vector<Cycles> finish;
+    std::uint64_t checksum = 0;
+    /** Per-PE counter records; empty when counters were off. */
+    std::vector<probes::PerfCounters> counters;
+};
+
+/**
+ * Build a fresh Machine and execute @p plan once.
+ * @param host_threads -1 sequential, N >= 1 parallel N threads.
+ * @param counters_on request per-PE counters.
+ */
+RunResult runOnce(const Plan &plan, int host_threads, bool counters_on);
+
+/** Differential verdict for one seed. */
+struct SeedReport
+{
+    std::uint64_t seed = 0;
+    bool pass = false;
+    /** One line per divergence (empty when pass). */
+    std::vector<std::string> mismatches;
+    RunResult reference;
+};
+
+/** Run the full differential matrix for one seed. */
+SeedReport runDifferential(const StressConfig &cfg,
+                           const std::vector<int> &thread_counts);
+
+/**
+ * The --saturate demo: a deliberately overloading program — an AM
+ * flood past the primary queue and a hardware-message flood past a
+ * shrunken msgQueueCapacity — that must complete with modeled spill
+ * costs instead of aborting (the tentpole acceptance shape).
+ */
+struct SaturateReport
+{
+    bool completed = false;
+    std::uint64_t amDeposits = 0;
+    std::uint64_t amOverflows = 0; ///< rerouted to the overflow ring
+    std::uint64_t amHandled = 0;
+    std::uint64_t msgsSent = 0;
+    std::uint64_t msgSpills = 0; ///< spilled past msgQueueCapacity
+    std::uint64_t msgsReceived = 0;
+    Cycles receiverFinish = 0;
+};
+
+SaturateReport runSaturate();
+
+} // namespace t3dsim::stress
+
+#endif // T3DSIM_STRESS_DIFFERENTIAL_HH

@@ -1,0 +1,455 @@
+#include "stress/generator.hh"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <vector>
+
+#include "machine/node.hh"
+#include "sim/logging.hh"
+#include "splitc/executor.hh"
+#include "splitc/global_ptr.hh"
+#include "splitc/proc.hh"
+
+namespace t3dsim::stress
+{
+
+namespace
+{
+
+/** User AM tag (must be >= the runtime's reserved range). */
+constexpr std::uint64_t kAmTag = 20;
+
+/** Per-receiver-per-round caps that keep the corpus race-free and
+ *  the simulated time bounded (docs/STRESS.md). */
+constexpr std::uint32_t kAmCapPerRound = 32;  // < amQueueSlots
+constexpr std::uint32_t kMsgCapPerRound = 3;  // 25 us interrupt each
+
+/** SplitMix64: the plan is a pure function of this stream. */
+struct Rng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform draw in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+};
+
+std::size_t
+bankBytes(const StressConfig &cfg)
+{
+    return std::size_t{cfg.pes} * kStripeWords * 8;
+}
+
+/** Address of word @p word of data bank @p bank. */
+Addr
+dataWordAddr(const StressConfig &cfg, int bank, std::uint32_t word)
+{
+    return kDataBase + Addr(bank) * bankBytes(cfg) + Addr(word) * 8;
+}
+
+/** Address of write slot @p slot of @p writer's stripe in @p bank. */
+Addr
+stripeSlotAddr(const StressConfig &cfg, int bank, PeId writer,
+               std::uint32_t slot)
+{
+    return dataWordAddr(cfg, bank, writer * kStripeWords + slot);
+}
+
+/** Address of @p writer's BLT landing stripe in @p bank. */
+Addr
+bigStripeAddr(const StressConfig &cfg, int bank, PeId writer)
+{
+    return kBigBase +
+           Addr(bank) * cfg.pes * kBigStripeBytes +
+           Addr(writer) * kBigStripeBytes;
+}
+
+/** Order-sensitive accumulate into result cell @p cell (untimed:
+ *  host bookkeeping folded into the checksummed memory image). */
+void
+accumulate(mem::Storage &storage, std::uint32_t cell, std::uint64_t v)
+{
+    const Addr a = kAccumBase + Addr(cell) * 8;
+    storage.writeU64(a, storage.readU64(a) * 1099511628211ull ^ v);
+}
+
+/** Commutative accumulate, for values whose arrival order is
+ *  timing-tied (two messages landing on the same cycle drain in
+ *  delivery order, which the schedulers canonicalize differently). */
+void
+accumulateCommutative(mem::Storage &storage, std::uint32_t cell,
+                      std::uint64_t v)
+{
+    const Addr a = kAccumBase + Addr(cell) * 8;
+    storage.writeU64(a, storage.readU64(a) + v * 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::RemoteRead: return "remote_read";
+    case OpKind::RemoteWrite: return "remote_write";
+    case OpKind::Put: return "put";
+    case OpKind::Get: return "get";
+    case OpKind::SignalStore: return "signal_store";
+    case OpKind::Prefetch: return "prefetch";
+    case OpKind::BltGet: return "blt_get";
+    case OpKind::BltPut: return "blt_put";
+    case OpKind::FetchInc: return "fetch_inc";
+    case OpKind::Swap: return "swap";
+    case OpKind::AmDeposit: return "am_deposit";
+    case OpKind::SendMsg: return "send_msg";
+    case OpKind::Compute: return "compute";
+    }
+    return "?";
+}
+
+Plan
+Plan::build(const StressConfig &raw)
+{
+    StressConfig cfg = raw;
+    cfg.pes = std::clamp<std::uint32_t>(cfg.pes, 2, 32);
+    cfg.rounds = std::max<std::uint32_t>(cfg.rounds, 1);
+    cfg.opsPerRound =
+        std::clamp<std::uint32_t>(cfg.opsPerRound, 1, kStripeWords);
+
+    Plan plan;
+    plan.cfg = cfg;
+    Rng rng{cfg.seed * 0x243f6a8885a308d3ull + 1};
+
+    const std::uint32_t bank_words = cfg.pes * kStripeWords;
+    for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+        RoundPlan round;
+        round.ops.resize(cfg.pes);
+        round.storeBytesIn.assign(cfg.pes, 0);
+        round.msgsIn.assign(cfg.pes, 0);
+        round.amsIn.assign(cfg.pes, 0);
+
+        // One AM sender and one message sender per receiver per
+        // round: AM tickets then follow the sender's program order,
+        // and message deliveries land consecutively in arrival order
+        // (the sender never suspends mid-round), so the receiver's
+        // dequeue order — and with it the interrupt-charge timing —
+        // is scheduler-invariant. See the header comment on
+        // contention canonicalization.
+        constexpr PeId kNoSender = ~PeId{0};
+        std::vector<PeId> am_sender(cfg.pes, kNoSender);
+        std::vector<PeId> msg_sender(cfg.pes, kNoSender);
+
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            bool blt_get_used = false, blt_put_used = false;
+            for (std::uint32_t i = 0; i < cfg.opsPerRound; ++i) {
+                Op op;
+                op.slot = i;
+                // Any target but self.
+                op.target = PeId(rng.below(cfg.pes - 1));
+                if (op.target >= pe)
+                    ++op.target;
+                op.value = rng.next();
+
+                const std::uint64_t draw = rng.below(100);
+                if (draw < 14) {
+                    op.kind = OpKind::RemoteRead;
+                    op.word = std::uint32_t(rng.below(bank_words));
+                } else if (draw < 28) {
+                    op.kind = OpKind::RemoteWrite;
+                } else if (draw < 40) {
+                    op.kind = OpKind::Put;
+                } else if (draw < 52) {
+                    op.kind = OpKind::Get;
+                    op.word = std::uint32_t(rng.below(bank_words));
+                } else if (draw < 66) {
+                    op.kind = OpKind::SignalStore;
+                    round.storeBytesIn[op.target] += 8;
+                } else if (draw < 74) {
+                    op.kind = OpKind::Prefetch;
+                    op.len = 1 + std::uint32_t(rng.below(16));
+                    op.word = std::uint32_t(
+                        rng.below(bank_words - op.len + 1));
+                } else if (draw < 80) {
+                    op.kind = OpKind::Compute;
+                } else if (draw < 86) {
+                    op.kind = OpKind::FetchInc;
+                } else if (draw < 92) {
+                    // The swapped cell is private to this PE on the
+                    // target, so the returned chain is order-stable.
+                    op.kind = OpKind::Swap;
+                    op.word = pe;
+                } else if (draw < 96 &&
+                           round.amsIn[op.target] < kAmCapPerRound &&
+                           (am_sender[op.target] == kNoSender ||
+                            am_sender[op.target] == pe)) {
+                    op.kind = OpKind::AmDeposit;
+                    am_sender[op.target] = pe;
+                    ++round.amsIn[op.target];
+                } else if (draw < 98 &&
+                           round.msgsIn[op.target] < kMsgCapPerRound &&
+                           (msg_sender[op.target] == kNoSender ||
+                            msg_sender[op.target] == pe)) {
+                    op.kind = OpKind::SendMsg;
+                    msg_sender[op.target] = pe;
+                    ++round.msgsIn[op.target];
+                } else if (draw < 99 && !blt_get_used) {
+                    op.kind = OpKind::BltGet;
+                    blt_get_used = true;
+                } else if (!blt_put_used) {
+                    op.kind = OpKind::BltPut;
+                    blt_put_used = true;
+                } else {
+                    // Capped draw: fall back to a read.
+                    op.kind = OpKind::RemoteRead;
+                    op.word = std::uint32_t(rng.below(bank_words));
+                }
+                round.ops[pe].push_back(op);
+            }
+        }
+        plan.rounds.push_back(std::move(round));
+    }
+    return plan;
+}
+
+void
+Plan::print(std::ostream &os) const
+{
+    os << "plan seed=" << cfg.seed << " pes=" << cfg.pes
+       << " rounds=" << cfg.rounds << " ops=" << cfg.opsPerRound
+       << "\n";
+    for (std::uint32_t r = 0; r < rounds.size(); ++r) {
+        const RoundPlan &round = rounds[r];
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            for (std::uint32_t i = 0; i < round.ops[pe].size(); ++i) {
+                const Op &op = round.ops[pe][i];
+                os << "  r" << r << " pe" << pe << " op" << i << ": "
+                   << opKindName(op.kind) << " -> pe" << op.target;
+                if (op.kind == OpKind::Prefetch)
+                    os << " word " << op.word << " len " << op.len;
+                else if (op.kind == OpKind::RemoteRead ||
+                         op.kind == OpKind::Get)
+                    os << " word " << op.word;
+                else if (op.kind == OpKind::Swap)
+                    os << " cell " << op.word;
+                os << " value 0x" << std::hex << op.value << std::dec
+                   << "\n";
+            }
+        }
+        os << "  r" << r << " waits:";
+        for (PeId pe = 0; pe < cfg.pes; ++pe)
+            os << " pe" << pe << "(store " << round.storeBytesIn[pe]
+               << "B, msg " << round.msgsIn[pe] << ", am "
+               << round.amsIn[pe] << ")";
+        os << "\n";
+    }
+}
+
+std::vector<Cycles>
+runPlan(machine::Machine &machine, const Plan &plan,
+        const splitc::SplitcConfig &splitc_cfg)
+{
+    using splitc::GlobalAddr;
+    using splitc::Proc;
+    using splitc::ProcTask;
+
+    const StressConfig &cfg = plan.cfg;
+    T3D_FATAL_IF(machine.numPes() != cfg.pes,
+                 "machine has ", machine.numPes(),
+                 " PEs but the plan wants ", cfg.pes);
+
+    // Host-side AM progress, one cell per PE; each cell is only ever
+    // touched by its owning PE's handler (which runs on the owner's
+    // shard thread), so the vector is race-free under the parallel
+    // scheduler.
+    std::vector<std::uint64_t> am_handled(cfg.pes, 0);
+
+    return splitc::runSpmd(
+        machine,
+        [&](Proc &p) -> ProcTask {
+            const PeId me = p.pe();
+            auto &storage = p.node().storage();
+
+            // Seed the read-only source region (untimed host fill;
+            // identical cost in both schedulers: none).
+            Rng init{cfg.seed ^ (0x9e3779b97f4a7c15ull * (me + 1))};
+            for (std::uint32_t w = 0; w < kConstWords; ++w)
+                storage.writeU64(kConstBase + Addr(w) * 8, init.next());
+
+            p.registerAmHandler(
+                kAmTag,
+                [&am_handled](Proc &self,
+                              const std::array<std::uint64_t, 4> &a) {
+                    accumulate(self.node().storage(), 4,
+                               a[0] ^ a[1] * 31 ^ a[2] * 7 ^ a[3]);
+                    ++am_handled[self.pe()];
+                });
+
+            co_await p.barrier();
+
+            std::uint64_t am_expected = 0;
+            for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+                const RoundPlan &round = plan.rounds[r];
+                const int bank = int(r & 1), prev = bank ^ 1;
+
+                for (const Op &op : round.ops[me]) {
+                    switch (op.kind) {
+                    case OpKind::RemoteRead:
+                        accumulate(storage, 0,
+                                   p.readU64(GlobalAddr::make(
+                                       op.target,
+                                       dataWordAddr(cfg, prev,
+                                                    op.word))));
+                        break;
+                    case OpKind::RemoteWrite:
+                        p.writeU64(GlobalAddr::make(
+                                       op.target,
+                                       stripeSlotAddr(cfg, bank, me,
+                                                      op.slot)),
+                                   op.value);
+                        break;
+                    case OpKind::Put:
+                        p.putU64(GlobalAddr::make(
+                                     op.target,
+                                     stripeSlotAddr(cfg, bank, me,
+                                                    op.slot)),
+                                 op.value);
+                        break;
+                    case OpKind::Get:
+                        p.getU64(GlobalAddr::make(
+                                     op.target,
+                                     dataWordAddr(cfg, prev, op.word)),
+                                 kScratchBase +
+                                     Addr(op.slot) * kScratchSlotBytes);
+                        break;
+                    case OpKind::SignalStore:
+                        p.storeU64(GlobalAddr::make(
+                                       op.target,
+                                       stripeSlotAddr(cfg, bank, me,
+                                                      op.slot)),
+                                   op.value);
+                        break;
+                    case OpKind::Prefetch:
+                        p.bulkReadPrefetch(
+                            kScratchBase +
+                                Addr(op.slot) * kScratchSlotBytes,
+                            GlobalAddr::make(
+                                op.target,
+                                dataWordAddr(cfg, prev, op.word)),
+                            std::size_t{op.len} * 8);
+                        break;
+                    case OpKind::BltGet:
+                        p.bulkReadBlt(kBltScratch,
+                                      GlobalAddr::make(op.target,
+                                                       kConstBase),
+                                      kBigStripeBytes);
+                        break;
+                    case OpKind::BltPut:
+                        p.bulkWriteBlt(
+                            GlobalAddr::make(
+                                op.target,
+                                bigStripeAddr(cfg, bank, me)),
+                            kConstBase, kBigStripeBytes);
+                        break;
+                    case OpKind::FetchInc:
+                        // The returned count depends on how the
+                        // scheduler interleaved concurrent bumps —
+                        // deterministic per scheduler, but
+                        // canonicalized differently (header comment)
+                        // — so exercise the round trip without
+                        // folding the value.
+                        (void)p.fetchInc(op.target, 1);
+                        accumulate(storage, 1, 1);
+                        break;
+                    case OpKind::Swap:
+                        accumulate(
+                            storage, 2,
+                            p.atomicSwap(
+                                GlobalAddr::make(
+                                    op.target,
+                                    kSwapBase + Addr(op.word) * 8),
+                                op.value));
+                        break;
+                    case OpKind::AmDeposit:
+                        p.amDeposit(op.target, kAmTag,
+                                    {op.value, me, r, op.slot});
+                        break;
+                    case OpKind::SendMsg:
+                        p.sendMessage(op.target,
+                                      {op.value, me, r, op.slot});
+                        break;
+                    case OpKind::Compute:
+                        p.compute(20 + Cycles(op.value % 480));
+                        break;
+                    }
+                }
+
+                // Round epilogue: complete split-phase traffic, then
+                // consume exactly what the plan says arrives here.
+                p.sync();
+                if (round.storeBytesIn[me] != 0)
+                    co_await p.storeSync(round.storeBytesIn[me]);
+                for (std::uint32_t i = 0; i < round.msgsIn[me]; ++i) {
+                    co_await p.waitMessage();
+                    const auto msg = p.takeMessage(false);
+                    accumulateCommutative(
+                        storage, 3,
+                        msg.words[0] ^ msg.words[1] * 31 ^
+                            msg.words[2] * 7 ^ msg.words[3]);
+                }
+                am_expected += round.amsIn[me];
+                while (am_handled[me] < am_expected) {
+                    co_await p.amWait();
+                    while (p.amPoll()) {
+                    }
+                }
+                co_await p.barrier();
+            }
+            co_return;
+        },
+        splitc_cfg);
+}
+
+std::uint64_t
+memoryChecksum(machine::Machine &machine, const Plan &plan)
+{
+    const StressConfig &cfg = plan.cfg;
+    std::uint64_t h = 14695981039346656037ull;
+    std::vector<std::uint8_t> buf;
+
+    const auto fold = [&](mem::Storage &storage, Addr base,
+                          std::size_t len) {
+        buf.resize(len);
+        storage.readBlockConcurrent(base, buf.data(), len);
+        for (std::uint8_t b : buf) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+    };
+
+    for (PeId pe = 0; pe < cfg.pes; ++pe) {
+        auto &storage = machine.node(pe).storage();
+        fold(storage, kDataBase, 2 * bankBytes(cfg));
+        fold(storage, kBigBase, 2 * cfg.pes * kBigStripeBytes);
+        fold(storage, kScratchBase,
+             std::size_t{cfg.opsPerRound} * kScratchSlotBytes);
+        fold(storage, kBltScratch, kBigStripeBytes);
+        fold(storage, kAccumBase, kAccumCells * 8);
+        fold(storage, kSwapBase, std::size_t{cfg.pes} * 8);
+    }
+    return h;
+}
+
+} // namespace t3dsim::stress

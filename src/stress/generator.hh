@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Seeded Split-C traffic generator for the differential stress
+ * harness (t3d-fuzz; see docs/STRESS.md).
+ *
+ * A Plan is a deterministic function of a StressConfig: for every
+ * (round, PE) it holds a list of Ops drawn from the full runtime
+ * vocabulary — blocking remote reads/writes, split-phase get/put,
+ * signaling stores, prefetch pipelining, BLT transfers, fetch&inc,
+ * atomic swap, Active Messages, hardware messages, and local
+ * compute. The same Plan runs under the sequential and the
+ * host-parallel scheduler; the differential checker
+ * (stress/differential.hh) cross-checks finish times, memory
+ * checksums and per-PE counters for exact equality.
+ *
+ * The generated programs are race-free by construction, so the
+ * bit-identical-timing contract of the parallel scheduler applies:
+ *
+ *  - writes land in per-(writer, round-parity) stripes, so no two
+ *    PEs ever write the same word in a round;
+ *  - reads target the previous round's bank, which no one writes in
+ *    the current round (rounds are barrier-separated);
+ *  - signaling stores, messages and AM deposits are matched by
+ *    plan-derived waits (storeSync byte counts, receive counts,
+ *    AM drain counts) before the round barrier;
+ *  - AM deposits per receiver per round are capped below the primary
+ *    queue size, so the fuzz corpus never enters the overflow ring
+ *    (the ring is exercised separately by the --saturate demo).
+ *
+ * Race-free does not mean contention-free, and the schedulers
+ * canonicalize contention differently: the sequential scheduler
+ * interleaves PEs in run-to-suspension order while the parallel
+ * scheduler serializes concurrent atomics in (clock, src) order.
+ * Both orders are deterministic and produce identical timing, but
+ * values that depend on the interleaving differ. The generator
+ * therefore only folds order-stable values into the checksum: each
+ * round has a single AM sender per receiver (ticket order = program
+ * order), swap cells are private to their swapping PE, message
+ * payloads fold commutatively (same-cycle arrivals tie-break by
+ * delivery order), and contended fetch&inc return values are
+ * exercised for timing but not folded.
+ *
+ * Hardware messages additionally have a single sender per receiver
+ * per round. With multiple senders, host interleaving can deliver a
+ * late-arrival message before an early one; a receiver woken at that
+ * moment dequeues the late message first and is charged
+ * max(now, arrival) + interrupt for it, shifting its clock by a full
+ * interrupt relative to the arrival-order dequeue — a timing (not
+ * just value) divergence. One sender emits all its messages in one
+ * run-to-suspension stretch, so deliveries land consecutively in
+ * arrival order under both schedulers.
+ */
+
+#ifndef T3DSIM_STRESS_GENERATOR_HH
+#define T3DSIM_STRESS_GENERATOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sim/types.hh"
+#include "splitc/config.hh"
+
+namespace t3dsim::stress
+{
+
+/** Shape of one generated program. */
+struct StressConfig
+{
+    std::uint64_t seed = 1;
+    std::uint32_t pes = 8;      ///< 2..32
+    std::uint32_t rounds = 4;   ///< >= 1
+    std::uint32_t opsPerRound = 12; ///< per PE; 1..kStripeWords
+};
+
+/** The traffic vocabulary (docs/STRESS.md "Traffic grammar"). */
+enum class OpKind : std::uint8_t
+{
+    RemoteRead,  ///< readU64 of a previous-bank word
+    RemoteWrite, ///< blocking writeU64 into own stripe
+    Put,         ///< split-phase putU64; completes at sync()
+    Get,         ///< split-phase getU64 into a scratch slot
+    SignalStore, ///< storeU64; matched by the receiver's storeSync
+    Prefetch,    ///< bulkReadPrefetch of a previous-bank range
+    BltGet,      ///< forced-BLT bulk read of the target's const region
+    BltPut,      ///< forced-BLT bulk write into own big stripe
+    FetchInc,    ///< remote fetch&inc on user register 1
+    Swap,        ///< atomic swap on a shared per-target cell
+    AmDeposit,   ///< Active Message; matched by the receiver's drain
+    SendMsg,     ///< hardware message; matched by a receive loop
+    Compute,     ///< local compute cycles
+};
+
+const char *opKindName(OpKind kind);
+
+/** One generated operation. */
+struct Op
+{
+    OpKind kind;
+    PeId target = 0;         ///< remote PE (never self)
+    std::uint32_t word = 0;  ///< read index / swap cell
+    std::uint32_t len = 0;   ///< prefetch length in words
+    std::uint32_t slot = 0;  ///< write slot (== op index; writer-unique)
+    std::uint64_t value = 0; ///< payload / compute cycles
+};
+
+/** Per-round schedule plus the plan-derived wait expectations. */
+struct RoundPlan
+{
+    std::vector<std::vector<Op>> ops;        ///< [pe] -> op list
+    std::vector<std::uint64_t> storeBytesIn; ///< [pe] signaling bytes
+    std::vector<std::uint32_t> msgsIn;       ///< [pe] messages
+    std::vector<std::uint32_t> amsIn;        ///< [pe] AM deposits
+};
+
+/** @name Memory layout (local addresses, identical on every PE) */
+/// @{
+/** Data region: two banks of per-writer stripes. */
+constexpr Addr kDataBase = 0x40000;
+constexpr std::uint32_t kStripeWords = 32;
+
+/** BLT landing region: two banks of per-writer 4 KiB stripes. */
+constexpr Addr kBigBase = 0x80000;
+constexpr std::size_t kBigStripeBytes = 4 * KiB;
+
+/** Read-only source data, filled per-PE before the first barrier. */
+constexpr Addr kConstBase = 0x100000;
+constexpr std::uint32_t kConstWords = 512;
+
+/** Per-op scratch slots for get / prefetch destinations. */
+constexpr Addr kScratchBase = 0x140000;
+constexpr std::size_t kScratchSlotBytes = 256;
+
+/** BLT read destination (one transfer in flight per PE round). */
+constexpr Addr kBltScratch = 0x148000;
+
+/** Result accumulators (read/fetchInc/swap/msg/AM), 5 cells. */
+constexpr Addr kAccumBase = 0x150000;
+constexpr std::uint32_t kAccumCells = 5;
+
+/** Shared atomic-swap cells, one per PE id. */
+constexpr Addr kSwapBase = 0x151000;
+/// @}
+
+/** A full deterministic program: config + per-round schedules. */
+struct Plan
+{
+    StressConfig cfg;
+    std::vector<RoundPlan> rounds;
+
+    /** Build the plan for @p cfg (pure function of the seed). */
+    static Plan build(const StressConfig &cfg);
+
+    /** Human-readable op listing (the --repro output). */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Execute @p plan on @p machine under the scheduler selected by
+ * @p splitc_cfg.hostThreads; returns per-PE finish times.
+ */
+std::vector<Cycles> runPlan(machine::Machine &machine, const Plan &plan,
+                            const splitc::SplitcConfig &splitc_cfg);
+
+/**
+ * FNV-1a over every generator-owned region of every PE, in PE
+ * order: data banks, BLT landing stripes, scratch, accumulators and
+ * swap cells. Uses the lock-free storage read path, so it is safe
+ * right after runPlan returns.
+ */
+std::uint64_t memoryChecksum(machine::Machine &machine, const Plan &plan);
+
+} // namespace t3dsim::stress
+
+#endif // T3DSIM_STRESS_GENERATOR_HH

@@ -123,7 +123,7 @@ TEST(Core, UnalignedLoadPanics)
 {
     detail::setThrowOnError(true);
     LocalNode n;
-    EXPECT_THROW(n.core.loadU64(0x1001), std::logic_error);
+    EXPECT_THROW(n.core.loadU64(0x1001), std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -133,21 +133,61 @@ TEST_F(PrefetchTest, OutstandingCountAndMbThreshold)
         n0.popPrefetch();
 }
 
-TEST_F(PrefetchTest, OverflowPanics)
+TEST_F(PrefetchTest, OverflowSpillsInsteadOfAborting)
 {
-    detail::setThrowOnError(true);
+    auto &pq = n0.shell().prefetch();
     for (int i = 0; i < 16; ++i)
         n0.fetchHint(va(i));
-    EXPECT_THROW(n0.fetchHint(va(16)), std::logic_error);
-    detail::setThrowOnError(false);
-    for (int i = 0; i < 16; ++i)
+    EXPECT_TRUE(pq.full());
+    EXPECT_EQ(pq.spills(), 0u);
+
+    // The 17th issue overflows the hardware slots: it is spilled to
+    // the DRAM-side buffer rather than corrupting the FIFO.
+    n0.fetchHint(va(16));
+    EXPECT_EQ(pq.spills(), 1u);
+    EXPECT_EQ(pq.outstanding(), 17u);
+
+    // FIFO order and binding semantics survive the spill, and every
+    // entry (including the spilled one) still returns its data.
+    for (int i = 0; i < 17; ++i)
+        EXPECT_EQ(n0.popPrefetch(), 100u + i);
+    EXPECT_TRUE(pq.empty());
+}
+
+TEST_F(PrefetchTest, SpilledEntryPaysTheSpillCost)
+{
+    // Reference: issue+pop cost of the 16th (last in-capacity) entry.
+    for (int i = 0; i < 15; ++i)
+        n0.fetchHint(va(i));
+    Cycles t0 = n0.clock().now();
+    n0.fetchHint(va(15));
+    const Cycles inCapacityIssue = n0.clock().now() - t0;
+
+    // The spilled 17th entry pays the spill premium at issue...
+    t0 = n0.clock().now();
+    n0.fetchHint(va(16));
+    const Cycles spilledIssue = n0.clock().now() - t0;
+    EXPECT_EQ(spilledIssue, inCapacityIssue + m.config().shell.prefetchSpillCycles);
+
+    // ...and again when it is recovered at pop (measured against the
+    // in-capacity entry popped immediately before it, after the
+    // network round trips have long completed).
+    for (int i = 0; i < 15; ++i)
         n0.popPrefetch();
+    n0.clock().advance(100000);
+    t0 = n0.clock().now();
+    n0.popPrefetch();
+    const Cycles inCapacityPop = n0.clock().now() - t0;
+    t0 = n0.clock().now();
+    n0.popPrefetch();
+    const Cycles spilledPop = n0.clock().now() - t0;
+    EXPECT_EQ(spilledPop, inCapacityPop + m.config().shell.prefetchSpillCycles);
 }
 
 TEST_F(PrefetchTest, PopEmptyPanics)
 {
     detail::setThrowOnError(true);
-    EXPECT_THROW(n0.popPrefetch(), std::logic_error);
+    EXPECT_THROW(n0.popPrefetch(), std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -96,8 +96,8 @@ TEST(Storage, OutOfRangePanics)
 {
     t3dsim::detail::setThrowOnError(true);
     Storage s(1024);
-    EXPECT_THROW(s.readU8(1024), std::logic_error);
-    EXPECT_THROW(s.writeU64(1020, 1), std::logic_error);
+    EXPECT_THROW(s.readU8(1024), std::runtime_error);
+    EXPECT_THROW(s.writeU64(1020, 1), std::runtime_error);
     EXPECT_NO_THROW(s.writeU64(1016, 1));
     t3dsim::detail::setThrowOnError(false);
 }

@@ -28,7 +28,7 @@ TEST(Annex, EntryZeroCannotBeRetargeted)
     detail::setThrowOnError(true);
     AnnexFile annex(5);
     EXPECT_THROW(annex.set(0, {7, ReadMode::Uncached}),
-                 std::logic_error);
+                 std::runtime_error);
     // Changing only the mode of entry 0 is allowed.
     EXPECT_NO_THROW(annex.set(0, {5, ReadMode::Cached}));
     detail::setThrowOnError(false);
@@ -74,9 +74,9 @@ TEST(Annex, OutOfRangePanics)
 {
     detail::setThrowOnError(true);
     AnnexFile annex(0);
-    EXPECT_THROW(annex.get(32), std::logic_error);
+    EXPECT_THROW(annex.get(32), std::runtime_error);
     EXPECT_THROW(annex.set(99, {1, ReadMode::Uncached}),
-                 std::logic_error);
+                 std::runtime_error);
     detail::setThrowOnError(false);
 }
 

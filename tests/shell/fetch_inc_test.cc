@@ -52,8 +52,8 @@ TEST(FetchInc, OutOfRangePanics)
 {
     detail::setThrowOnError(true);
     FetchIncRegisters regs;
-    EXPECT_THROW(regs.fetchInc(2), std::logic_error);
-    EXPECT_THROW(regs.get(9), std::logic_error);
+    EXPECT_THROW(regs.fetchInc(2), std::runtime_error);
+    EXPECT_THROW(regs.get(9), std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -84,7 +84,7 @@ TEST_F(MsgQueueTest, DeliveryOrderIsByArrival)
 TEST_F(MsgQueueTest, DequeueEmptyPanics)
 {
     detail::setThrowOnError(true);
-    EXPECT_THROW(q.dequeue(0, false), std::logic_error);
+    EXPECT_THROW(q.dequeue(0, false), std::runtime_error);
     detail::setThrowOnError(false);
 }
 
@@ -93,6 +93,106 @@ TEST_F(MsgQueueTest, DeliveredCounter)
     deliver(1, 1);
     deliver(2, 2);
     EXPECT_EQ(q.delivered(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Capacity / spill path
+// ---------------------------------------------------------------------
+
+/** Same queue with a tiny hardware segment so tests can fill it. */
+struct MsgQueueSpillTest : MsgQueueTest
+{
+    MsgQueueSpillTest() { cfg.msgQueueCapacity = 4; }
+};
+
+TEST_F(MsgQueueSpillTest, DrainingAnExactlyFullQueueCostsNoSpill)
+{
+    for (int i = 0; i < 4; ++i)
+        deliver(100 * (i + 1), std::uint64_t(i));
+    EXPECT_EQ(q.depth(), 4u);
+    EXPECT_EQ(q.spilled(), 0u);
+    EXPECT_EQ(q.spillDepth(), 0u);
+
+    Cycles now = 0;
+    for (int i = 0; i < 4; ++i) {
+        auto [msg, done] = q.dequeue(now, false);
+        EXPECT_EQ(msg.words[0], std::uint64_t(i));
+        // At-capacity messages pay exactly the classic interrupt
+        // cost: the spill path must not tax them.
+        EXPECT_EQ(done,
+                  std::max(now, msg.arrival) + cfg.msgInterruptCycles);
+        now = done;
+    }
+    EXPECT_FALSE(q.hasMessage());
+}
+
+TEST_F(MsgQueueSpillTest, OverflowSpillsAndChargesDrainCost)
+{
+    for (int i = 0; i < 6; ++i)
+        deliver(100 * (i + 1), std::uint64_t(i));
+    EXPECT_EQ(q.depth(), 6u);
+    EXPECT_EQ(q.spilled(), 2u);
+    EXPECT_EQ(q.spillDepth(), 2u);
+
+    Cycles now = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto [msg, done] = q.dequeue(now, false);
+        EXPECT_EQ(msg.words[0], std::uint64_t(i)) << "arrival order";
+        Cycles expect =
+            std::max(now, msg.arrival) + cfg.msgInterruptCycles;
+        if (i >= 4) // the two spilled messages pay the copy-back
+            expect += cfg.msgSpillDrainCycles;
+        EXPECT_EQ(done, expect) << "message " << i;
+        now = done;
+    }
+    EXPECT_EQ(q.spillDepth(), 0u);
+    EXPECT_EQ(q.spilled(), 2u) << "historical count survives draining";
+}
+
+TEST_F(MsgQueueSpillTest, EarlyArrivalDemotesYoungestToSpill)
+{
+    // Fill the hardware segment with late arrivals, then deliver an
+    // earlier one: it belongs at the head, so the youngest hardware
+    // entry (400) is the one demoted to the overflow region.
+    for (int i = 0; i < 4; ++i)
+        deliver(100 * (i + 1), std::uint64_t(i)); // arrivals 100..400
+    deliver(50, 99);
+    EXPECT_EQ(q.headArrival().value(), 50u);
+    EXPECT_EQ(q.spilled(), 1u);
+
+    const std::uint64_t order[5] = {99, 0, 1, 2, 3};
+    Cycles now = 0;
+    for (int i = 0; i < 5; ++i) {
+        auto [msg, done] = q.dequeue(now, false);
+        EXPECT_EQ(msg.words[0], order[i]);
+        Cycles expect =
+            std::max(now, msg.arrival) + cfg.msgInterruptCycles;
+        if (msg.words[0] == 3) // the demoted message pays the drain
+            expect += cfg.msgSpillDrainCycles;
+        EXPECT_EQ(done, expect);
+        now = done;
+    }
+}
+
+TEST_F(MsgQueueSpillTest, RefillKeepsInterleavedArrivalOrder)
+{
+    // Overflow, drain a little, overflow again: the concatenated
+    // hardware + spill sequence must always drain by arrival.
+    for (int i = 0; i < 5; ++i)
+        deliver(10 * (i + 1), std::uint64_t(i)); // 5th spills
+    auto [m0, d0] = q.dequeue(0, false);
+    EXPECT_EQ(m0.words[0], 0u);
+    deliver(5, 100); // earlier than everything still queued
+    deliver(60, 5);  // later than everything: spills again
+
+    const std::uint64_t order[6] = {100, 1, 2, 3, 4, 5};
+    Cycles now = d0;
+    for (int i = 0; i < 6; ++i) {
+        auto [msg, done] = q.dequeue(now, false);
+        EXPECT_EQ(msg.words[0], order[i]) << "position " << i;
+        now = done;
+    }
+    EXPECT_EQ(q.depth(), 0u);
 }
 
 } // namespace

@@ -235,13 +235,13 @@ TEST(Executor, FuzzyBarrierMisuseDetected)
                              p.startBarrier(); // double start
                              co_return;
                          }),
-                 std::logic_error);
+                 std::runtime_error);
     EXPECT_THROW(runSpmd(m,
                          [&](Proc &p) -> ProcTask {
                              co_await p.endBarrier(); // no start
                              co_return;
                          }),
-                 std::logic_error);
+                 std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -42,7 +42,7 @@ TEST(ProcEdge, AllocatorExhaustionPanics)
     detail::setThrowOnError(true);
     Machine m(MachineConfig::t3d(2));
     // The node segment is 128 MB.
-    EXPECT_THROW(m.node(0).alloc(Addr{1} << 31), std::logic_error);
+    EXPECT_THROW(m.node(0).alloc(Addr{1} << 31), std::runtime_error);
     detail::setThrowOnError(false);
 }
 
@@ -59,7 +59,7 @@ TEST(ProcEdge, SignalingStoreAcrossLinePanics)
                     }
                     co_return;
                 }),
-        std::logic_error);
+        std::runtime_error);
     detail::setThrowOnError(false);
 }
 
@@ -74,7 +74,7 @@ TEST(ProcEdge, AmDepositToSelfPanics)
                         p.amDeposit(0, 20, {1, 2, 3, 4});
                     co_return;
                 }),
-        std::logic_error);
+        std::runtime_error);
     detail::setThrowOnError(false);
 }
 
@@ -94,7 +94,7 @@ TEST(ProcEdge, UnknownAmTagPanics)
                     }
                     co_return;
                 }),
-        std::logic_error);
+        std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -51,7 +51,7 @@ TEST(Spread, OutOfRangePanics)
     detail::setThrowOnError(true);
     Machine m(MachineConfig::t3d(4));
     auto arr = SpreadArray<std::uint64_t>::allocate(m, 16);
-    EXPECT_THROW(arr.at(16), std::logic_error);
+    EXPECT_THROW(arr.at(16), std::runtime_error);
     detail::setThrowOnError(false);
 }
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit and smoke tests for the seeded differential stress harness
+ * (src/stress/, docs/STRESS.md). The heavyweight 50-seed corpus runs
+ * in CI via the t3d-fuzz binary; these tests pin the generator's
+ * determinism and run a small differential matrix end to end.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stress/differential.hh"
+#include "stress/generator.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using stress::Op;
+using stress::OpKind;
+using stress::Plan;
+using stress::StressConfig;
+
+StressConfig
+smallCfg(std::uint64_t seed)
+{
+    StressConfig cfg;
+    cfg.seed = seed;
+    cfg.pes = 4;
+    cfg.rounds = 2;
+    cfg.opsPerRound = 8;
+    return cfg;
+}
+
+TEST(StressPlan, SameSeedSameListing)
+{
+    std::ostringstream a, b;
+    Plan::build(smallCfg(42)).print(a);
+    Plan::build(smallCfg(42)).print(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_FALSE(a.str().empty());
+}
+
+TEST(StressPlan, DifferentSeedsDiffer)
+{
+    std::ostringstream a, b;
+    Plan::build(smallCfg(1)).print(a);
+    Plan::build(smallCfg(2)).print(b);
+    EXPECT_NE(a.str(), b.str());
+}
+
+TEST(StressPlan, NeverTargetsSelfAndRespectsCaps)
+{
+    StressConfig cfg;
+    cfg.seed = 7;
+    cfg.pes = 8;
+    cfg.rounds = 6;
+    cfg.opsPerRound = 24;
+    const Plan plan = Plan::build(cfg);
+    ASSERT_EQ(plan.rounds.size(), cfg.rounds);
+
+    for (const auto &round : plan.rounds) {
+        std::vector<std::uint32_t> ams(cfg.pes, 0), msgs(cfg.pes, 0);
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            int blt_gets = 0, blt_puts = 0;
+            for (const Op &op : round.ops[pe]) {
+                EXPECT_NE(op.target, pe);
+                EXPECT_LT(op.target, cfg.pes);
+                if (op.kind == OpKind::AmDeposit)
+                    ++ams[op.target];
+                if (op.kind == OpKind::SendMsg)
+                    ++msgs[op.target];
+                if (op.kind == OpKind::BltGet)
+                    ++blt_gets;
+                if (op.kind == OpKind::BltPut)
+                    ++blt_puts;
+            }
+            EXPECT_LE(blt_gets, 1);
+            EXPECT_LE(blt_puts, 1);
+        }
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            // Matched-wait accounting must agree with the op lists,
+            // and the AM cap keeps the corpus out of the overflow
+            // ring (the primary queue holds 256).
+            EXPECT_EQ(ams[pe], round.amsIn[pe]);
+            EXPECT_EQ(msgs[pe], round.msgsIn[pe]);
+            EXPECT_LE(round.amsIn[pe], 32u);
+            EXPECT_LE(round.msgsIn[pe], 3u);
+        }
+    }
+}
+
+TEST(StressDifferential, RunIsDeterministic)
+{
+    const Plan plan = Plan::build(smallCfg(11));
+    const auto a = stress::runOnce(plan, /*host_threads=*/-1, true);
+    const auto b = stress::runOnce(plan, /*host_threads=*/-1, true);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(StressDifferential, ChecksumDependsOnSeed)
+{
+    const auto a =
+        stress::runOnce(Plan::build(smallCfg(1)), -1, false);
+    const auto b =
+        stress::runOnce(Plan::build(smallCfg(2)), -1, false);
+    EXPECT_NE(a.checksum, b.checksum);
+}
+
+TEST(StressDifferential, SmokeSeedsPassAtTwoAndFourThreads)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto rep =
+            stress::runDifferential(smallCfg(seed), {2, 4});
+        EXPECT_TRUE(rep.pass) << "seed " << seed;
+        for (const auto &msg : rep.mismatches)
+            ADD_FAILURE() << "seed " << seed << ": " << msg;
+    }
+}
+
+TEST(StressSaturate, FloodCompletesWithModeledSpills)
+{
+    const auto rep = stress::runSaturate();
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.amHandled, rep.amDeposits);
+    EXPECT_EQ(rep.msgsReceived, rep.msgsSent);
+    EXPECT_GT(rep.amOverflows, 0u) << "flood must enter the ring";
+    EXPECT_GT(rep.msgSpills, 0u) << "flood must spill the msg queue";
+    EXPECT_GT(rep.receiverFinish, 0u);
+}
+
+} // namespace
