@@ -12,6 +12,8 @@
  *   t3d-fuzz --seed 7 --repro        # print the op listing, then run
  *   t3d-fuzz --corpus 10 --base 100  # seeds 100..109
  *   t3d-fuzz --pes 4 --rounds 2 --ops 8 --threads 2,4
+ *   t3d-fuzz --flood 24 --am-slots 8 --ovf-slots 64
+ *                                    # drive the AM overflow ring
  *   t3d-fuzz --saturate              # AM/message flood demo
  *   t3d-fuzz --json                  # machine-readable report
  *
@@ -43,6 +45,9 @@ struct CliOptions
     std::uint32_t pes = 8;
     std::uint32_t rounds = 4;
     std::uint32_t ops = 12;
+    std::uint32_t flood = 0;
+    std::uint32_t amSlots = 0;
+    std::uint32_t ovfSlots = 0;
     std::vector<int> threads = {1, 2, 4, 8};
     bool repro = false;
     bool saturate = false;
@@ -67,6 +72,7 @@ usage(int status)
     std::cerr
         << "usage: t3d-fuzz [--seed N | --corpus N [--base B]]\n"
         << "                [--pes P] [--rounds R] [--ops K]\n"
+        << "                [--flood N] [--am-slots Q] [--ovf-slots V]\n"
         << "                [--threads a,b,c] [--repro] [--saturate]\n"
         << "                [--json]\n";
     std::exit(status);
@@ -96,6 +102,12 @@ parseArgs(int argc, char **argv)
             opt.rounds = std::uint32_t(std::stoul(value()));
         } else if (arg == "--ops") {
             opt.ops = std::uint32_t(std::stoul(value()));
+        } else if (arg == "--flood") {
+            opt.flood = std::uint32_t(std::stoul(value()));
+        } else if (arg == "--am-slots") {
+            opt.amSlots = std::uint32_t(std::stoul(value()));
+        } else if (arg == "--ovf-slots") {
+            opt.ovfSlots = std::uint32_t(std::stoul(value()));
         } else if (arg == "--threads") {
             opt.threads = parseThreads(value());
         } else if (arg == "--repro") {
@@ -169,19 +181,23 @@ main(int argc, char **argv)
         for (std::uint64_t s = 0; s < opt.corpus; ++s)
             seeds.push_back(opt.base + s);
 
-    if (opt.repro) {
-        stress::StressConfig cfg{opt.seed, opt.pes, opt.rounds,
-                                 opt.ops};
-        stress::Plan::build(cfg).print(std::cout);
-    }
+    const auto makeConfig = [&](std::uint64_t seed) {
+        stress::StressConfig cfg{seed, opt.pes, opt.rounds, opt.ops};
+        cfg.amFloodDeposits = opt.flood;
+        cfg.amQueueSlots = opt.amSlots;
+        cfg.amOverflowSlots = opt.ovfSlots;
+        return cfg;
+    };
+
+    if (opt.repro)
+        stress::Plan::build(makeConfig(opt.seed)).print(std::cout);
 
     std::uint64_t failures = 0;
     if (opt.json)
         std::cout << "[\n";
     for (std::size_t i = 0; i < seeds.size(); ++i) {
-        stress::StressConfig cfg{seeds[i], opt.pes, opt.rounds,
-                                 opt.ops};
-        const auto rep = stress::runDifferential(cfg, opt.threads);
+        const auto rep =
+            stress::runDifferential(makeConfig(seeds[i]), opt.threads);
         if (!rep.pass)
             ++failures;
         if (opt.json) {

@@ -79,7 +79,7 @@ main()
              std::to_string(handler_us) + " us", "25 + 33 us");
     t.addRow("fetch&increment (remote)",
              std::to_string(fi_us) + " us", "~1 us");
-    t.addRow("AM deposit (4+1 words)",
+    t.addRow("AM deposit (4+2 words)",
              std::to_string(deposit_us) + " us", "2.9 us");
     t.addRow("AM dispatch + access",
              std::to_string(dispatch_us) + " us", "1.5 us");

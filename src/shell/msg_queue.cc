@@ -10,6 +10,12 @@ namespace t3dsim::shell
 MessageQueue::MessageQueue(const ShellConfig &config)
     : _config(config)
 {
+    T3D_FATAL_IF(config.msgQueueCapacity == 0,
+                 "ShellConfig::msgQueueCapacity must be nonzero: with "
+                 "no hardware slots every delivery would land in the "
+                 "overflow region, which receivers never observe "
+                 "directly, so delivered messages would be invisible "
+                 "and receivers would spin forever");
 }
 
 void
@@ -37,9 +43,15 @@ MessageQueue::deliver(Cycles arrive, const std::uint64_t words[4])
         // demoted to the overflow region.
         Entry demoted = _hw.back();
         _hw.pop_back();
-        demoted.spilled = true;
-        ++_spilled;
-        T3D_COUNT(_ctr, msgSpills);
+        if (!demoted.spilled) {
+            // Count only the first trip into the overflow region: a
+            // refilled entry keeps its spilled marking (its one drain
+            // charge is still pending), so demoting it again must not
+            // double-count.
+            demoted.spilled = true;
+            ++_spilled;
+            T3D_COUNT(_ctr, msgSpills);
+        }
         _spill.push_front(demoted);
         auto pos =
             std::upper_bound(_hw.begin(), _hw.end(), arrive, by_arrival);

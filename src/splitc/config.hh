@@ -90,21 +90,25 @@ struct SplitcConfig
     Cycles amDispatchOverheadCycles = 170;
 
     /**
-     * Slots in the per-node shared-memory AM queue. A deposit into a
-     * slot whose previous message has not been dispatched yet is an
-     * overflow (the consumer is not draining fast enough); system
-     * software reroutes the deposit into a DRAM overflow ring that
-     * the receiver recovers from with one modeled interrupt per
-     * spilled message — a sustained flood becomes an interrupt storm
-     * that slows the receiver instead of aborting the run.
+     * Slots in the per-node shared-memory AM queue. A deposit whose
+     * ticket has this many undispatched predecessors (per the
+     * receiver's flow account, sampled at the serialized ticket
+     * claim) cannot use the primary queue: system software reroutes
+     * it into a DRAM overflow ring that the receiver recovers from
+     * with one modeled interrupt per spilled message — a sustained
+     * flood becomes an interrupt storm that slows the receiver
+     * instead of aborting the run. The counter-based rule makes
+     * placement a pure function of simulated state, so the
+     * sequential and host-parallel schedulers reroute identically.
      */
     std::uint32_t amQueueSlots = 256;
 
     /**
-     * Slots in the per-node DRAM overflow ring. Together with the
-     * primary queue this bounds undispatched deposits per receiver;
-     * exhausting both is diagnosed as a typed error (a receiver that
-     * never drains is a deadlocked program, not extreme-but-legal
+     * Slots in the per-node DRAM overflow ring, occupied in ticket
+     * order by spilled deposits. Together with the primary queue
+     * this bounds undispatched deposits per receiver; exhausting
+     * both is diagnosed as a typed error (a receiver that never
+     * drains is a deadlocked program, not extreme-but-legal
      * traffic). The combined rings must fit below Node::allocBase.
      */
     std::uint32_t amOverflowSlots = 1024;

@@ -68,6 +68,7 @@ Scheduler::Scheduler(machine::Machine &machine, const SplitcConfig &config)
     : _machine(machine), _config(config)
 {
     _slots.resize(machine.numPes());
+    _amFlow.resize(machine.numPes());
     for (PeId pe = 0; pe < machine.numPes(); ++pe) {
         _slots[pe].proc = std::make_unique<Proc>(*this, machine,
                                                  machine.node(pe), config);
@@ -122,6 +123,21 @@ void
 Scheduler::recordAmArrival(PeId dst, Cycles when, std::uint64_t count)
 {
     _machine.node(dst).amArrivals().record(when, count);
+}
+
+void
+Scheduler::amPublishDispatch(PeId pe, bool spilled)
+{
+    AmFlowCounts &flow = _amFlow[pe];
+    ++flow.dispatched;
+    if (spilled)
+        ++flow.spillsDrained;
+}
+
+Scheduler::AmFlowCounts
+Scheduler::amFlowVisible(PeId pe)
+{
+    return _amFlow[pe];
 }
 
 void

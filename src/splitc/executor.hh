@@ -214,6 +214,49 @@ class Scheduler
     /** Like recordStoreArrival, for the active-message arrival log. */
     virtual void recordAmArrival(PeId dst, Cycles when,
                                  std::uint64_t count);
+
+    /**
+     * Deterministic flow account of one receiver's AM queue (§7.4).
+     * The deposit path routes between the primary queue and the DRAM
+     * overflow ring on these counters — sampled at the ticket claim,
+     * which both schedulers serialize at the same simulated point —
+     * never on a peek at the receiver's memory, whose host-instant
+     * contents are not ordered by simulated time under the
+     * host-parallel scheduler.
+     */
+    struct AmFlowCounts
+    {
+        /** Deposits rerouted into the overflow ring (claim side). */
+        std::uint64_t spillsClaimed = 0;
+        /** Messages dispatched by amPoll (receiver-published). */
+        std::uint64_t dispatched = 0;
+        /** Dispatches that recovered a spilled message. */
+        std::uint64_t spillsDrained = 0;
+    };
+
+    /**
+     * The claim-side account of PE @p pe: amDeposit bumps
+     * spillsClaimed through this at the ticket claim, which the
+     * schedulers already serialize (the claim is a fetch&inc grant).
+     */
+    AmFlowCounts &amFlow(PeId pe) { return _amFlow[pe]; }
+
+    /**
+     * Receiver publish: PE @p pe dispatched one message (@p spilled:
+     * recovered from the overflow ring). The parallel scheduler
+     * routes the publish through its merge stream so a sender never
+     * observes a dispatch that is still in the receiver's simulated
+     * future.
+     */
+    virtual void amPublishDispatch(PeId pe, bool spilled);
+
+    /**
+     * The flow account of PE @p pe as visible to a deposit at the
+     * current serialization point (for the parallel scheduler:
+     * committed state plus the calling shard's own unmerged
+     * publishes).
+     */
+    virtual AmFlowCounts amFlowVisible(PeId pe);
     /// @}
 
   protected:
@@ -292,6 +335,9 @@ class Scheduler
     };
 
     std::vector<Slot> _slots;
+
+    /** Per-receiver AM queue flow accounts (see amFlow()). */
+    std::vector<AmFlowCounts> _amFlow;
 
     /** Ready PEs, min-heap via std::push_heap/std::pop_heap. */
     std::vector<ReadyRef> _ready;

@@ -152,6 +152,48 @@ ParallelScheduler::recordAmArrival(PeId dst, Cycles when,
     Scheduler::recordAmArrival(dst, when, count);
 }
 
+void
+ParallelScheduler::amPublishDispatch(PeId pe, bool spilled)
+{
+    // Like the barrier network, the flow account is shared state
+    // every shard's deposit path routes on: inside a window the
+    // publish is always deferred — even for the shard's own PE — so
+    // it commits at its merge-key position, never at a host instant.
+    Shard *shard = tlsShard;
+    if (shard && !shard->grantedMode) {
+        DeferredOp &op = defer(*shard, DeferredOp::Kind::AmDispatch, pe);
+        op.amount = spilled ? 1 : 0;
+        return;
+    }
+    Scheduler::amPublishDispatch(pe, spilled);
+}
+
+Scheduler::AmFlowCounts
+ParallelScheduler::amFlowVisible(PeId pe)
+{
+    // Committed account plus the calling shard's own unmerged
+    // publishes. A same-shard receiver's dispatches ran host-before
+    // this claim in exactly the sequential order, so all of them must
+    // be visible (like overlayPendingWrites, the tail scan is
+    // deliberately not key-filtered); a cross-shard receiver's
+    // publishes merge strictly by key, and everything below the
+    // claim's grant key was applied before the grant.
+    AmFlowCounts flow = amFlow(pe);
+    const Shard *shard = tlsShard;
+    if (!shard)
+        return flow;
+    for (std::size_t i = shard->outboxCursor; i < shard->outbox.size();
+         ++i) {
+        const DeferredOp &op = shard->outbox[i];
+        if (op.kind == DeferredOp::Kind::AmDispatch && op.dst == pe) {
+            ++flow.dispatched;
+            if (op.amount != 0)
+                ++flow.spillsDrained;
+        }
+    }
+    return flow;
+}
+
 shell::RemoteMemoryPort *
 ParallelScheduler::route(PeId dst)
 {
@@ -499,6 +541,9 @@ ParallelScheduler::applyOp(const DeferredOp &op)
         break;
       case DeferredOp::Kind::AmArrival:
         Scheduler::recordAmArrival(op.dst, op.when, op.amount);
+        break;
+      case DeferredOp::Kind::AmDispatch:
+        Scheduler::amPublishDispatch(op.dst, op.amount != 0);
         break;
       case DeferredOp::Kind::BarrierArrive:
         Scheduler::barrierArrive(op.dst, op.when);

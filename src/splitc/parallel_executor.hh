@@ -89,6 +89,8 @@ class ParallelScheduler final : public Scheduler,
                             std::uint64_t bytes) override;
     void recordAmArrival(PeId dst, Cycles when,
                          std::uint64_t count) override;
+    void amPublishDispatch(PeId pe, bool spilled) override;
+    AmFlowCounts amFlowVisible(PeId pe) override;
     /// @}
 
     /** @name machine::RemoteAccessRouter */
@@ -112,6 +114,7 @@ class ParallelScheduler final : public Scheduler,
             Message,      ///< user-level message delivery
             StoreArrival, ///< signaling-store arrival-log record
             AmArrival,    ///< active-message arrival-log record
+            AmDispatch,   ///< receiver's AM flow-account publish
             BarrierArrive ///< barrier-network arrival
         };
 

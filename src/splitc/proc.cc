@@ -23,22 +23,11 @@ constexpr std::uint64_t amTagUser = 16;
 /** Scratch offset of the AM queue (below Node::allocBase). */
 constexpr Addr amQueueBase = 4 * KiB;
 
-/** Slot layout: [flag|tag, a0, a1, a2, a3] = 5 words. */
-constexpr Addr amSlotBytes = 40;
-
-/**
- * Committed-storage view of one word of another node's memory: the
- * occupancy oracle of the AM deposit path. Untimed (system-software
- * bookkeeping the paper folds into the deposit overhead) and safe to
- * call from any host thread under the parallel scheduler.
- */
-std::uint64_t
-committedWord(machine::Node &node, Addr addr)
-{
-    std::uint64_t value = 0;
-    node.storage().readBlockConcurrent(addr, &value, 8);
-    return value;
-}
+/** Slot layout: [flag|tag, ticket, a0, a1, a2, a3] = 6 words. The
+ *  ticket tag lets the receiver verify which deposit occupies a slot,
+ *  so dispatch stays strictly in ticket order across the primary
+ *  queue and the overflow ring. */
+constexpr Addr amSlotBytes = 48;
 
 } // namespace
 
@@ -48,6 +37,11 @@ Proc::Proc(Scheduler &sched, machine::Machine &machine,
       _annexCurrent(0), _ctr(node.countersIfEnabled()),
       _trace(machine.trace())
 {
+    T3D_FATAL_IF(_config.amQueueSlots == 0 ||
+                     _config.amOverflowSlots == 0,
+                 "SplitcConfig::amQueueSlots and amOverflowSlots must "
+                 "be nonzero (a 0-slot ring has no address to deposit "
+                 "into)");
     T3D_FATAL_IF(
         amQueueBase +
                 (Addr{_config.amQueueSlots} + _config.amOverflowSlots) *
@@ -650,33 +644,55 @@ Proc::amDeposit(PeId dst, std::uint64_t tag,
     // §7.4); tickets dispatch in order, so the ticket number is the
     // deterministic total order of deposits per receiver.
     const std::uint64_t ticket = fetchInc(dst, 0);
-    const std::uint64_t slot = ticket % _config.amQueueSlots;
-    Addr base = amSlotAddr(slot);
 
-    // Overflow: the primary slot still holds an undispatched
-    // message. On the real machine this silently corrupts the
-    // queue; the model reroutes the deposit into the DRAM overflow
-    // ring, which the receiver recovers from at one modeled
-    // interrupt per message (amOverflowDrainCycles) — an interrupt
-    // storm under sustained flooding, not a process abort.
-    if (committedWord(_machine.node(dst), base) != 0) {
-        base = amOverflowSlotAddr(ticket % _config.amOverflowSlots);
+    // Route the deposit on the receiver's flow account, sampled at
+    // the claim — the serialization point both schedulers place at
+    // the same simulated instant — never on a peek at the receiver's
+    // memory, whose host-instant contents race with the receiver
+    // under the host-parallel scheduler. ticket - dispatched
+    // predecessors are undispatched; once they cannot all fit in the
+    // primary queue the deposit must take the DRAM overflow ring:
+    // writing a freed primary slot ahead of an older spilled message
+    // would dispatch out of order and strand the spill. The receiver
+    // recovers each spill at one modeled interrupt
+    // (amOverflowDrainCycles) — an interrupt storm under sustained
+    // flooding, not a process abort.
+    const auto flow = _sched.amFlowVisible(dst);
+    Addr base;
+    const bool spill =
+        ticket - flow.dispatched >= _config.amQueueSlots;
+    if (spill) {
+        auto &claim = _sched.amFlow(dst);
         T3D_FATAL_IF(
-            committedWord(_machine.node(dst), base) != 0,
+            claim.spillsClaimed - flow.spillsDrained >=
+                _config.amOverflowSlots,
             "AM queue overflow on PE ", dst, ": ticket ", ticket,
-            " found both its primary slot and its overflow-ring slot "
-            "occupied (", _config.amQueueSlots, " + ",
+            " found both the primary queue and the overflow ring "
+            "full (", _config.amQueueSlots, " + ",
             _config.amOverflowSlots,
             " undispatched deposits; the consumer is not draining — "
             "call amPoll, or enlarge SplitcConfig::amQueueSlots / "
             "amOverflowSlots)");
+        // Spills occupy ring slots in claim (= ticket) order; the
+        // occupancy gate above proves this slot's previous occupant
+        // (spill number spillsClaimed - amOverflowSlots) has been
+        // drained and its flag cleared.
+        base = amOverflowSlotAddr(claim.spillsClaimed %
+                                  _config.amOverflowSlots);
+        ++claim.spillsClaimed;
         ++_amOverflows;
         T3D_COUNT(_ctr, amOverflows);
+    } else {
+        // An unspilled ticket owns its primary slot: its Q-th
+        // predecessor is already dispatched (flag cleared), and no
+        // later ticket can claim the slot until this one dispatches.
+        base = amSlotAddr(ticket % _config.amQueueSlots);
     }
 
-    // Deposit the four data words (pipelined puts)...
+    // Deposit the ticket tag and four data words (pipelined puts)...
+    putU64(GlobalAddr::make(dst, base + 8), ticket);
     for (unsigned i = 0; i < 4; ++i)
-        putU64(GlobalAddr::make(dst, base + 8 + i * 8), args[i]);
+        putU64(GlobalAddr::make(dst, base + 16 + i * 8), args[i]);
     // ...make them visible before the control word...
     _node.waitRemoteWrites();
     _putsOutstanding = false;
@@ -706,32 +722,45 @@ Proc::amPoll()
 {
     auto &core = _node.core();
     Addr base = amSlotAddr(_amHead % _config.amQueueSlots);
+    bool spilled = false;
 
     std::uint64_t flag = core.loadU64(base);
-    if (flag == 0) {
-        // The next ticket's message may have been rerouted to the
-        // DRAM overflow ring by a sender that found the primary slot
-        // occupied. The occupancy probe is the same untimed
-        // system-software peek the sender uses, so a poll that finds
-        // nothing costs exactly what it did before the overflow ring
-        // existed; recovering a spilled message pays a full OS
-        // interrupt.
-        const Addr ovf =
-            amOverflowSlotAddr(_amHead % _config.amOverflowSlots);
-        if (core.peekU64(ovf) == 0)
+    if (flag != 0) {
+        // The deposit path's routing rule guarantees the occupant of
+        // the primary slot is exactly the next ticket (see
+        // amDeposit); the ticket tag pins the invariant.
+        T3D_ASSERT(core.peekU64(base + 8) == _amHead,
+                   "AM primary slot holds ticket ",
+                   core.peekU64(base + 8), ", expected ", _amHead);
+    } else {
+        // The next ticket may have been rerouted to the DRAM
+        // overflow ring. Spilled deposits occupy ring slots in claim
+        // order, so the ring head is the oldest undispatched spill;
+        // its ticket tag says whether it is this one's turn (a later
+        // spilled ticket must wait for in-flight primary deposits).
+        // The peeks are untimed system-software bookkeeping, so a
+        // poll that finds nothing costs exactly what it did before
+        // the overflow ring existed; recovering a spilled message
+        // pays a full OS interrupt.
+        const Addr ovf = amOverflowSlotAddr(_amSpillHead %
+                                            _config.amOverflowSlots);
+        if (core.peekU64(ovf) == 0 || core.peekU64(ovf + 8) != _amHead)
             return false;
         base = ovf;
+        spilled = true;
         flag = core.loadU64(base);
         core.charge(_config.amOverflowDrainCycles);
+        ++_amSpillHead;
     }
 
     std::array<std::uint64_t, 4> args{};
     for (unsigned i = 0; i < 4; ++i)
-        args[i] = core.loadU64(base + 8 + i * 8);
+        args[i] = core.loadU64(base + 16 + i * 8);
     core.storeU64(base, 0); // free the slot
     ++_amHead;
     advanceAmWatermark(1);
     core.charge(_config.amDispatchOverheadCycles);
+    _sched.amPublishDispatch(pe(), spilled);
 
     const std::uint64_t tag = flag - 1;
     auto it = _amHandlers.find(tag);

@@ -301,8 +301,14 @@ class Proc
     std::uint64_t _storeWatermark = 0;
     std::uint64_t _amWatermark = 0;
 
-    /** AM receive cursor (next slot to poll). */
+    /** AM receive cursor (next ticket to dispatch). */
     std::uint64_t _amHead = 0;
+
+    /** Overflow-ring recovery cursor: spilled deposits this receiver
+     *  has drained. The ring is indexed by claim order (the sender
+     *  side counts claims in Scheduler::amFlow), so this addresses
+     *  the oldest undispatched spill. */
+    std::uint64_t _amSpillHead = 0;
 
     /** Deposits rerouted into a receiver's overflow ring. */
     std::uint64_t _amOverflows = 0;

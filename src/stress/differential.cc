@@ -82,6 +82,10 @@ runOnce(const Plan &plan, int host_threads, bool counters_on)
     machine::Machine m(mc);
     splitc::SplitcConfig scfg;
     scfg.hostThreads = host_threads;
+    if (plan.cfg.amQueueSlots != 0)
+        scfg.amQueueSlots = plan.cfg.amQueueSlots;
+    if (plan.cfg.amOverflowSlots != 0)
+        scfg.amOverflowSlots = plan.cfg.amOverflowSlots;
 
     RunResult res;
     res.finish = runPlan(m, plan, scfg);

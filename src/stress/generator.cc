@@ -152,6 +152,28 @@ Plan::build(const StressConfig &raw)
         std::vector<PeId> am_sender(cfg.pes, kNoSender);
         std::vector<PeId> msg_sender(cfg.pes, kNoSender);
 
+        // AM flood pair: chosen before the op draws so every normal
+        // AmDeposit draw targeting the flooded receiver collapses
+        // onto the same sender (single-sender canonicalization), and
+        // counted into amsIn up front so the kAmCapPerRound check
+        // bounds the combined total.
+        if (cfg.amFloodDeposits > 0) {
+            const PeId sender = PeId(rng.below(cfg.pes));
+            PeId receiver = PeId(rng.below(cfg.pes - 1));
+            if (receiver >= sender)
+                ++receiver;
+            am_sender[receiver] = sender;
+            Op op;
+            op.kind = OpKind::AmDeposit;
+            op.target = receiver;
+            for (std::uint32_t k = 0; k < cfg.amFloodDeposits; ++k) {
+                op.slot = cfg.opsPerRound + k;
+                op.value = rng.next();
+                round.ops[sender].push_back(op);
+            }
+            round.amsIn[receiver] += cfg.amFloodDeposits;
+        }
+
         for (PeId pe = 0; pe < cfg.pes; ++pe) {
             bool blt_get_used = false, blt_put_used = false;
             for (std::uint32_t i = 0; i < cfg.opsPerRound; ++i) {

@@ -23,9 +23,13 @@
  *  - signaling stores, messages and AM deposits are matched by
  *    plan-derived waits (storeSync byte counts, receive counts,
  *    AM drain counts) before the round barrier;
- *  - AM deposits per receiver per round are capped below the primary
- *    queue size, so the fuzz corpus never enters the overflow ring
- *    (the ring is exercised separately by the --saturate demo).
+ *  - AM deposits per receiver per round are capped below the default
+ *    primary queue size, so the plain fuzz corpus never enters the
+ *    overflow ring; flood seeds (StressConfig::amFloodDeposits with a
+ *    shrunken amQueueSlots override) deliberately overrun it, which
+ *    is still deterministic because spill routing is a pure function
+ *    of the receiver's flow account at the serialized ticket claim
+ *    and each flooded receiver keeps a single sender.
  *
  * Race-free does not mean contention-free, and the schedulers
  * canonicalize contention differently: the sequential scheduler
@@ -72,6 +76,24 @@ struct StressConfig
     std::uint32_t pes = 8;      ///< 2..32
     std::uint32_t rounds = 4;   ///< >= 1
     std::uint32_t opsPerRound = 12; ///< per PE; 1..kStripeWords
+
+    /**
+     * Per-round AM flood: one seeded (sender, receiver) pair per
+     * round issues this many additional back-to-back deposits in one
+     * run-to-suspension stretch, deliberately overrunning the
+     * primary queue so the differential matrix exercises the
+     * deterministic overflow-ring reroute under every scheduler
+     * (0 = off). Pair with a shrunken amQueueSlots override; the
+     * receiver still drains everything before the round barrier, so
+     * the program stays race-free and matched-wait.
+     */
+    std::uint32_t amFloodDeposits = 0;
+
+    /** SplitcConfig::amQueueSlots override (0 = library default). */
+    std::uint32_t amQueueSlots = 0;
+
+    /** SplitcConfig::amOverflowSlots override (0 = default). */
+    std::uint32_t amOverflowSlots = 0;
 };
 
 /** The traffic vocabulary (docs/STRESS.md "Traffic grammar"). */

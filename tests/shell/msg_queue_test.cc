@@ -174,6 +174,45 @@ TEST_F(MsgQueueSpillTest, EarlyArrivalDemotesYoungestToSpill)
     }
 }
 
+TEST_F(MsgQueueSpillTest, RedemotedRefillCountsOneSpillAndOneDrain)
+{
+    // Fill 4 slots, spill a 5th; dequeue the head so the spilled
+    // entry refills into hardware (keeping its marking); then deliver
+    // an earlier arrival that demotes it a second time. The spill
+    // counter and the drain charge must both stay at one.
+    for (int i = 0; i < 5; ++i)
+        deliver(10 * (i + 1), std::uint64_t(i)); // arrivals 10..50
+    EXPECT_EQ(q.spilled(), 1u);
+    auto [m0, d0] = q.dequeue(0, false); // 10 out; 50 refills
+    EXPECT_EQ(m0.words[0], 0u);
+    deliver(5, 99); // demotes the refilled 50 again
+    EXPECT_EQ(q.spilled(), 1u) << "re-demotion must not double-count";
+    EXPECT_EQ(q.spillDepth(), 1u);
+
+    const std::uint64_t order[5] = {99, 1, 2, 3, 4};
+    Cycles now = d0;
+    for (int i = 0; i < 5; ++i) {
+        auto [msg, done] = q.dequeue(now, false);
+        EXPECT_EQ(msg.words[0], order[i]) << "position " << i;
+        Cycles expect =
+            std::max(now, msg.arrival) + cfg.msgInterruptCycles;
+        if (msg.words[0] == 4) // the twice-demoted message, once
+            expect += cfg.msgSpillDrainCycles;
+        EXPECT_EQ(done, expect) << "message " << i;
+        now = done;
+    }
+    EXPECT_EQ(q.spilled(), 1u);
+}
+
+TEST(MsgQueueConfig, ZeroCapacityIsDiagnosed)
+{
+    detail::setThrowOnError(true);
+    ShellConfig cfg;
+    cfg.msgQueueCapacity = 0;
+    EXPECT_THROW(MessageQueue{cfg}, std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
 TEST_F(MsgQueueSpillTest, RefillKeepsInterleavedArrivalOrder)
 {
     // Overflow, drain a little, overflow again: the concatenated

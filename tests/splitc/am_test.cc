@@ -264,6 +264,50 @@ TEST(Am, OverflowDrainPaysAnInterruptPerSpilledMessage)
                 double(cfg.amOverflowDrainCycles), 100.0);
 }
 
+TEST(Am, InterleavedFloodDispatchesInTicketOrderLosingNothing)
+{
+    // Regression for the overflow-ring misorder: spill tickets 4..8
+    // while letting the receiver drain one message mid-flood. A
+    // positional (flag-probe) reroute would let a later ticket claim
+    // the freed primary slot ahead of the older spilled messages,
+    // dispatch it out of order and strand a spill forever; the
+    // counter-routed ring must deliver all nine in ticket order.
+    Machine m(MachineConfig::t3d(2));
+    splitc::SplitcConfig cfg;
+    cfg.amQueueSlots = 4;
+    std::vector<std::uint64_t> seen;
+    runSpmd(
+        m,
+        [&](Proc &p) -> ProcTask {
+            p.registerAmHandler(
+                tagAdd,
+                [&](Proc &, const std::array<std::uint64_t, 4> &a) {
+                    seen.push_back(a[0]);
+                });
+            if (p.pe() == 0) {
+                for (int i = 0; i < 5; ++i) // ticket 4 spills
+                    p.amDeposit(1, tagAdd, {std::uint64_t(i), 0, 0, 0});
+                co_await p.barrier();
+                co_await p.barrier(); // receiver dispatched ticket 0
+                for (int i = 5; i < 9; ++i) // all forced to the ring
+                    p.amDeposit(1, tagAdd, {std::uint64_t(i), 0, 0, 0});
+                co_await p.barrier();
+            } else {
+                co_await p.barrier();
+                EXPECT_TRUE(p.amPoll()); // frees primary slot 0
+                co_await p.barrier();
+                co_await p.barrier();
+                while (p.amPoll()) {
+                }
+            }
+            co_return;
+        },
+        cfg);
+    ASSERT_EQ(seen.size(), 9u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i) << "ticket order";
+}
+
 TEST(Am, OverflowExhaustionIsDiagnosed)
 {
     detail::setThrowOnError(true);

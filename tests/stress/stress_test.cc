@@ -91,6 +91,36 @@ TEST(StressPlan, NeverTargetsSelfAndRespectsCaps)
     }
 }
 
+TEST(StressPlan, FloodKeepsSingleSenderPerReceiver)
+{
+    StressConfig cfg = smallCfg(9);
+    cfg.amFloodDeposits = 24;
+    const Plan plan = Plan::build(cfg);
+
+    bool flooded = false;
+    for (const auto &round : plan.rounds) {
+        constexpr PeId kNone = ~PeId{0};
+        std::vector<PeId> sender(cfg.pes, kNone);
+        std::vector<std::uint32_t> ams(cfg.pes, 0);
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            for (const Op &op : round.ops[pe]) {
+                if (op.kind != OpKind::AmDeposit)
+                    continue;
+                EXPECT_TRUE(sender[op.target] == kNone ||
+                            sender[op.target] == pe)
+                    << "two AM senders for pe" << op.target;
+                sender[op.target] = pe;
+                ++ams[op.target];
+            }
+        }
+        for (PeId pe = 0; pe < cfg.pes; ++pe) {
+            EXPECT_EQ(ams[pe], round.amsIn[pe]);
+            flooded |= ams[pe] >= cfg.amFloodDeposits;
+        }
+    }
+    EXPECT_TRUE(flooded) << "every round must carry the flood burst";
+}
+
 TEST(StressDifferential, RunIsDeterministic)
 {
     const Plan plan = Plan::build(smallCfg(11));
@@ -115,6 +145,34 @@ TEST(StressDifferential, SmokeSeedsPassAtTwoAndFourThreads)
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
         const auto rep =
             stress::runDifferential(smallCfg(seed), {2, 4});
+        EXPECT_TRUE(rep.pass) << "seed " << seed;
+        for (const auto &msg : rep.mismatches)
+            ADD_FAILURE() << "seed " << seed << ": " << msg;
+    }
+}
+
+TEST(StressDifferential, FloodSeedsDriveTheOverflowRingAtManyThreads)
+{
+    // The saturating regime the plain corpus's AM cap never reaches:
+    // a shrunken primary queue plus a per-round flood burst forces
+    // deposits through the overflow-ring reroute, and the reroute
+    // decision (placement, timing, amOverflows counters) must be
+    // bit-identical between the sequential scheduler and 2/4/8 host
+    // threads.
+    for (std::uint64_t seed : {5ull, 6ull}) {
+        StressConfig cfg = smallCfg(seed);
+        cfg.amFloodDeposits = 24;
+        cfg.amQueueSlots = 8;
+        cfg.amOverflowSlots = 64;
+
+        const auto ref = stress::runOnce(Plan::build(cfg), -1, true);
+        std::uint64_t overflows = 0;
+        for (const auto &ctr : ref.counters)
+            overflows += ctr.amOverflows;
+        EXPECT_GT(overflows, 0u)
+            << "seed " << seed << ": flood must enter the ring";
+
+        const auto rep = stress::runDifferential(cfg, {2, 4, 8});
         EXPECT_TRUE(rep.pass) << "seed " << seed;
         for (const auto &msg : rep.mismatches)
             ADD_FAILURE() << "seed " << seed << ": " << msg;
