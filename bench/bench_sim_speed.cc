@@ -15,17 +15,28 @@
  * every parallel run must reproduce the baseline's sim_cycles and
  * checksum exactly — a divergence is a scheduler bug and fails the
  * binary. Pass --sweep-only to skip the micro benchmarks.
+ *
+ * A second, sequential-only weak-scaling sweep takes the PE count
+ * through 256 / 1K / 4K / 16K / 64K (three Figure 9 versions) and
+ * reports sim-PE-cycles/s, modeled bytes per PE
+ * (Machine::residentModelBytes) and the host's peak RSS — the
+ * capacity story behind DESIGN.md §11's flyweight PE state. Pass
+ * --weak-only to run just this sweep, --max-pes=N to cap it.
  */
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include <benchmark/benchmark.h>
 
@@ -208,6 +219,102 @@ runSweep(std::uint32_t pes, unsigned host_threads)
     return out;
 }
 
+/** Peak resident set of this process, in bytes (Linux ru_maxrss is
+ *  KiB). 0 if the kernel will not say. */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return std::uint64_t(ru.ru_maxrss) * 1024;
+}
+
+// ---------------------------------------------------------------------
+// Weak-scaling sweep (flyweight-PE capacity story, DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+/** One weak-scaling measurement: fixed per-PE workload, growing P. */
+struct WeakOutcome
+{
+    std::uint32_t pes = 0;
+    double hostSeconds = 0;
+    std::uint64_t simCycles = 0;
+    double simPeCyclesPerHostSecond = 0;
+
+    /** Machine::residentModelBytes after the run (max across the
+     *  versions — each builds a fresh machine). */
+    std::uint64_t modeledBytes = 0;
+    double modeledBytesPerPe = 0;
+
+    /** Process peak RSS after this case, bytes (cumulative across
+     *  cases: the sweep runs smallest-P first). */
+    std::uint64_t hostPeakRssBytes = 0;
+
+    double checksum = 0;
+};
+
+/** PE counts for the weak-scaling sweep, capped by --max-pes. */
+std::vector<std::uint32_t>
+weakScalingPes(std::uint32_t max_pes)
+{
+    std::vector<std::uint32_t> pes;
+    for (std::uint32_t p : {256u, 1024u, 4096u, 16384u, 65536u})
+        if (p <= max_pes)
+            pes.push_back(p);
+    return pes;
+}
+
+WeakOutcome
+runWeakCase(std::uint32_t pes)
+{
+    const em3d::Config cfg = sweepConfig();
+    splitc::SplitcConfig scfg;
+    scfg.hostThreads = -1; // sequential: the capacity baseline
+
+    // Three versions keep the big cases tractable while still
+    // exercising gets, puts and bulk transfers (the mechanisms with
+    // distinct shell state).
+    const std::array<em3d::Version, 3> versions = {
+        em3d::Version::Get, em3d::Version::Put, em3d::Version::Bulk};
+
+    WeakOutcome out;
+    out.pes = pes;
+
+    // Small cases get the warmup + best-of-three treatment; at 4K+
+    // PEs one pass runs long enough that cold-start noise is lost in
+    // the measurement (and three passes would be a wait).
+    const bool careful = pes <= 1024;
+    const int timed_passes = careful ? 3 : 1;
+    for (int pass = careful ? -1 : 0; pass < timed_passes; ++pass) {
+        std::uint64_t sim_cycles = 0;
+        std::uint64_t modeled = 0;
+        double checksum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (em3d::Version v : versions) {
+            const em3d::Result r = em3d::run(cfg, v, pes, scfg);
+            sim_cycles += r.elapsed;
+            checksum += r.checksum;
+            modeled = std::max(modeled, r.modeledBytes);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double host_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (pass < 0)
+            continue; // warmup
+        if (out.hostSeconds == 0 || host_s < out.hostSeconds)
+            out.hostSeconds = host_s;
+        out.simCycles = sim_cycles;
+        out.checksum = checksum;
+        out.modeledBytes = modeled;
+    }
+    out.simPeCyclesPerHostSecond =
+        double(out.simCycles) * pes / out.hostSeconds;
+    out.modeledBytesPerPe = double(out.modeledBytes) / pes;
+    out.hostPeakRssBytes = peakRssBytes();
+    return out;
+}
+
 /** Worker-thread counts to sweep: 1, 2, 4, and the host's core
  *  count, deduplicated and sorted. */
 std::vector<unsigned>
@@ -238,6 +345,7 @@ sweepSkippedReason()
 
 bool
 writeSweepJson(const std::vector<SweepOutcome> &cases,
+               const std::vector<WeakOutcome> &weak,
                const std::string &skipped_reason,
                const std::string &path)
 {
@@ -249,16 +357,21 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
     os << "{\n"
        << "  \"bench\": \"sim_speed_em3d_sweep\",\n"
        << "  \"host_cores\": " << std::thread::hardware_concurrency()
-       << ",\n";
+       << ",\n"
+       << "  \"host_peak_rss_bytes\": " << peakRssBytes() << ",\n";
     if (!skipped_reason.empty())
         os << "  \"skipped_reason\": \"" << skipped_reason << "\",\n";
-    os
-       << "  \"config\": {\"nodes_per_pe\": " << cfg.nodesPerPe
+    // remote_fraction is a config literal (0.2), not a measurement:
+    // print it at input precision, not as the nearest double
+    // (0.20000000000000001).
+    os.precision(6);
+    os << "  \"config\": {\"nodes_per_pe\": " << cfg.nodesPerPe
        << ", \"degree\": " << cfg.degree
        << ", \"remote_fraction\": " << cfg.remoteFraction
        << ", \"iterations\": " << cfg.iterations
-       << ", \"versions\": 6},\n"
-       << "  \"cases\": [\n";
+       << ", \"versions\": 6},\n";
+    os.precision(17);
+    os << "  \"cases\": [\n";
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const SweepOutcome &c = cases[i];
         os << "    {\"pes\": " << c.pes
@@ -271,6 +384,21 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
            << ", \"checksum\": " << c.checksum << "}"
            << (i + 1 < cases.size() ? "," : "") << "\n";
     }
+    os << "  ],\n"
+       << "  \"weak_scaling\": [\n";
+    for (std::size_t i = 0; i < weak.size(); ++i) {
+        const WeakOutcome &w = weak[i];
+        os << "    {\"pes\": " << w.pes
+           << ", \"host_seconds\": " << w.hostSeconds
+           << ", \"sim_cycles\": " << w.simCycles
+           << ", \"sim_pe_cycles_per_host_second\": "
+           << w.simPeCyclesPerHostSecond
+           << ", \"modeled_bytes\": " << w.modeledBytes
+           << ", \"modeled_bytes_per_pe\": " << w.modeledBytesPerPe
+           << ", \"host_peak_rss_bytes\": " << w.hostPeakRssBytes
+           << ", \"checksum\": " << w.checksum << "}"
+           << (i + 1 < weak.size() ? "," : "") << "\n";
+    }
     os << "  ]\n}\n";
     return bool(os);
 }
@@ -281,17 +409,30 @@ int
 main(int argc, char **argv)
 {
     bool sweep_only = false;
-    for (int i = 1; i < argc; ++i) {
+    bool weak_only = false;
+    std::uint32_t max_pes = 65536;
+    for (int i = 1; i < argc;) {
+        bool eat = true;
         if (std::strcmp(argv[i], "--sweep-only") == 0) {
             sweep_only = true;
+        } else if (std::strcmp(argv[i], "--weak-only") == 0) {
+            weak_only = true;
+        } else if (std::strncmp(argv[i], "--max-pes=", 10) == 0) {
+            max_pes = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+        } else {
+            eat = false;
+        }
+        if (eat) {
             for (int j = i; j + 1 < argc; ++j)
                 argv[j] = argv[j + 1];
             --argc;
-            break;
+        } else {
+            ++i;
         }
     }
 
-    if (!sweep_only) {
+    if (!sweep_only && !weak_only) {
         benchmark::Initialize(&argc, argv);
         benchmark::RunSpecifiedBenchmarks();
     }
@@ -302,7 +443,10 @@ main(int argc, char **argv)
         std::cout << "parallel sweep skipped: " << skipped_reason
                   << "\n";
     std::vector<SweepOutcome> cases;
-    for (std::uint32_t pes : {32u, 256u}) {
+    const std::vector<std::uint32_t> thread_sweep_pes =
+        weak_only ? std::vector<std::uint32_t>{}
+                  : std::vector<std::uint32_t>{32u, 256u};
+    for (std::uint32_t pes : thread_sweep_pes) {
         const SweepOutcome seq = runSweep(pes, 0);
         cases.push_back(seq);
         const std::vector<unsigned> sweep =
@@ -338,7 +482,19 @@ main(int argc, char **argv)
                       << " checksum=" << c.checksum << "\n";
         }
     }
-    if (!writeSweepJson(cases, skipped_reason,
+    std::vector<WeakOutcome> weak;
+    for (std::uint32_t pes : weakScalingPes(max_pes)) {
+        const WeakOutcome w = runWeakCase(pes);
+        std::cout << "weak_scaling pes=" << w.pes
+                  << " host_s=" << w.hostSeconds
+                  << " sim_pe_cycles/s=" << w.simPeCyclesPerHostSecond
+                  << " modeled_bytes/pe=" << w.modeledBytesPerPe
+                  << " peak_rss=" << w.hostPeakRssBytes
+                  << " checksum=" << w.checksum << "\n";
+        weak.push_back(w);
+    }
+
+    if (!writeSweepJson(cases, weak, skipped_reason,
                         "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;

@@ -12,6 +12,9 @@
  *   t3d-fuzz --seed 7 --repro        # print the op listing, then run
  *   t3d-fuzz --corpus 10 --base 100  # seeds 100..109
  *   t3d-fuzz --pes 4 --rounds 2 --ops 8 --threads 2,4
+ *   t3d-fuzz --pes 2048 --corpus 2 --rounds 2 --ops 4
+ *                                    # large-P differential configs
+ *   t3d-fuzz --large-smoke           # fixed 1K/2K/4K-PE smoke corpus
  *   t3d-fuzz --flood 24 --am-slots 8 --ovf-slots 64
  *                                    # drive the AM overflow ring
  *   t3d-fuzz --saturate              # AM/message flood demo
@@ -52,6 +55,7 @@ struct CliOptions
     bool repro = false;
     bool saturate = false;
     bool json = false;
+    bool largeSmoke = false;
 };
 
 std::vector<int>
@@ -74,7 +78,7 @@ usage(int status)
         << "                [--pes P] [--rounds R] [--ops K]\n"
         << "                [--flood N] [--am-slots Q] [--ovf-slots V]\n"
         << "                [--threads a,b,c] [--repro] [--saturate]\n"
-        << "                [--json]\n";
+        << "                [--large-smoke] [--json]\n";
     std::exit(status);
 }
 
@@ -114,6 +118,8 @@ parseArgs(int argc, char **argv)
             opt.repro = true;
         } else if (arg == "--saturate") {
             opt.saturate = true;
+        } else if (arg == "--large-smoke") {
+            opt.largeSmoke = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -174,13 +180,6 @@ main(int argc, char **argv)
     if (opt.saturate)
         return runSaturateDemo(opt);
 
-    std::vector<std::uint64_t> seeds;
-    if (opt.haveSeed)
-        seeds.push_back(opt.seed);
-    else
-        for (std::uint64_t s = 0; s < opt.corpus; ++s)
-            seeds.push_back(opt.base + s);
-
     const auto makeConfig = [&](std::uint64_t seed) {
         stress::StressConfig cfg{seed, opt.pes, opt.rounds, opt.ops};
         cfg.amFloodDeposits = opt.flood;
@@ -189,15 +188,33 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    std::vector<stress::StressConfig> configs;
+    if (opt.largeSmoke) {
+        // Fixed large-P corpus: a few rounds of light traffic at PE
+        // counts that straddle the fine-chunk storage threshold
+        // (2048; see MachineConfig::fineChunkPes), so the sparse
+        // chunk store, the radix barrier tree and the hashed channel
+        // table all get differential coverage at scale.
+        for (std::uint32_t pes : {1024u, 2048u, 4096u}) {
+            stress::StressConfig cfg{opt.base + pes, pes, 2, 4};
+            configs.push_back(cfg);
+        }
+    } else if (opt.haveSeed) {
+        configs.push_back(makeConfig(opt.seed));
+    } else {
+        for (std::uint64_t s = 0; s < opt.corpus; ++s)
+            configs.push_back(makeConfig(opt.base + s));
+    }
+
     if (opt.repro)
         stress::Plan::build(makeConfig(opt.seed)).print(std::cout);
 
     std::uint64_t failures = 0;
     if (opt.json)
         std::cout << "[\n";
-    for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
         const auto rep =
-            stress::runDifferential(makeConfig(seeds[i]), opt.threads);
+            stress::runDifferential(configs[i], opt.threads);
         if (!rep.pass)
             ++failures;
         if (opt.json) {
@@ -208,7 +225,7 @@ main(int argc, char **argv)
             for (std::size_t k = 0; k < rep.mismatches.size(); ++k)
                 std::cout << (k ? ", " : "") << '"'
                           << rep.mismatches[k] << '"';
-            std::cout << "]}" << (i + 1 < seeds.size() ? "," : "")
+            std::cout << "]}" << (i + 1 < configs.size() ? "," : "")
                       << "\n";
         } else {
             std::cout << "seed " << rep.seed << ": "
@@ -221,7 +238,7 @@ main(int argc, char **argv)
         std::cout << "]\n";
 
     if (!opt.json)
-        std::cout << (seeds.size() - failures) << "/" << seeds.size()
+        std::cout << (configs.size() - failures) << "/" << configs.size()
                   << " seeds passed the differential check\n";
     if (failures != 0)
         std::cerr << "t3d-fuzz: " << failures

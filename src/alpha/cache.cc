@@ -1,5 +1,6 @@
 #include "alpha/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/logging.hh"
@@ -14,38 +15,109 @@ DirectMappedCache::DirectMappedCache(std::uint64_t size_bytes,
       _lineShift(static_cast<unsigned>(std::countr_zero(line_bytes))),
       _tagShift(static_cast<unsigned>(std::countr_zero(line_bytes)) +
                 static_cast<unsigned>(std::countr_zero(_numLines))),
-      _lines(_numLines), _data(size_bytes, 0)
+      _sectors((_numLines + sectorLines - 1) / sectorLines, nullptr)
 {
     T3D_ASSERT(std::has_single_bit(size_bytes),
                "cache size must be a power of two");
     T3D_ASSERT(std::has_single_bit(line_bytes),
                "cache line size must be a power of two");
     T3D_ASSERT(size_bytes >= line_bytes, "cache smaller than one line");
+    T3D_ASSERT(line_bytes >= sizeof(std::uint32_t),
+               "cache line smaller than a tag word");
+}
+
+DirectMappedCache::DirectMappedCache(DirectMappedCache &&other) noexcept
+    : _numLines(other._numLines), _lineBytes(other._lineBytes),
+      _indexMask(other._indexMask), _lineShift(other._lineShift),
+      _tagShift(other._tagShift), _sectors(std::move(other._sectors)),
+      _sectorsAllocated(other._sectorsAllocated)
+{
+    other._sectors.clear();
+    other._sectorsAllocated = 0;
+}
+
+DirectMappedCache &
+DirectMappedCache::operator=(DirectMappedCache &&other) noexcept
+{
+    if (this != &other) {
+        destroySectors();
+        _numLines = other._numLines;
+        _lineBytes = other._lineBytes;
+        _indexMask = other._indexMask;
+        _lineShift = other._lineShift;
+        _tagShift = other._tagShift;
+        _sectors = std::move(other._sectors);
+        _sectorsAllocated = other._sectorsAllocated;
+        other._sectors.clear();
+        other._sectorsAllocated = 0;
+    }
+    return *this;
+}
+
+DirectMappedCache::~DirectMappedCache() { destroySectors(); }
+
+void
+DirectMappedCache::destroySectors()
+{
+    for (auto *tags : _sectors)
+        delete[] tags;
+}
+
+std::uint32_t *
+DirectMappedCache::materializeSector(std::uint64_t s)
+{
+    auto *tags = new std::uint32_t[sectorAllocWords()];
+    std::fill_n(tags, sectorLines, invalidTag);
+    // Line data left uninitialized: a lane is only readable after its
+    // tag is set by fill(), which overwrites the whole payload.
+    _sectors[s] = tags;
+    ++_sectorsAllocated;
+    return tags;
 }
 
 void
 DirectMappedCache::read(Addr pa, void *dst, std::size_t len) const
 {
     T3D_ASSERT(probe(pa), "reading a line that is not cached: pa=", pa);
+    const std::uint64_t idx = indexOf(pa);
+    const std::uint32_t *tags = _sectors[idx >> sectorShift];
+    const std::uint64_t lane = idx & (sectorLines - 1);
     std::size_t off = pa & (_lineBytes - 1);
     T3D_ASSERT(off + len <= _lineBytes, "cache read crosses line");
-    std::memcpy(dst, lineData(indexOf(pa)) + off, len);
+    std::memcpy(dst, sectorData(tags) + lane * _lineBytes + off, len);
 }
 
 void
 DirectMappedCache::invalidateAll()
 {
-    for (auto &line : _lines)
-        line.valid = false;
+    for (auto *tags : _sectors)
+        if (tags)
+            std::fill_n(tags, sectorLines, invalidTag);
 }
 
 std::uint64_t
 DirectMappedCache::validLines() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : _lines)
-        n += line.valid ? 1 : 0;
+    for (std::size_t s = 0; s < _sectors.size(); ++s) {
+        const std::uint32_t *tags = _sectors[s];
+        if (!tags)
+            continue;
+        const std::uint64_t lanes =
+            std::min<std::uint64_t>(sectorLines,
+                                    _numLines - s * sectorLines);
+        for (std::uint64_t lane = 0; lane < lanes; ++lane)
+            n += tags[lane] != invalidTag ? 1 : 0;
+    }
     return n;
+}
+
+std::size_t
+DirectMappedCache::residentBytes() const
+{
+    return sizeof(DirectMappedCache) +
+           _sectors.capacity() * sizeof(_sectors[0]) +
+           _sectorsAllocated * sectorAllocWords() * sizeof(std::uint32_t);
 }
 
 } // namespace t3dsim::alpha

@@ -12,9 +12,16 @@
  *
  * Host-performance notes: probe/read/update sit on the simulator's
  * hottest path (every load and store), so index/tag math is
- * shift-and-mask (geometry is power-of-two by contract), line data
- * lives in one flat allocation instead of a vector per line, and the
- * accessors are inline.
+ * shift-and-mask (geometry is power-of-two by contract) and the
+ * accessors are inline. Tags are 4-byte values (physical addresses
+ * are well under 2^32, so a shifted tag always fits; ~0 is the
+ * invalid sentinel) and tag+data arrays are materialized lazily in
+ * 64-line *sectors*: a PE that never misses in a region pays nothing
+ * for it, and an idle PE's whole D-cache model costs one pointer
+ * array. This is the per-PE flyweight that lets 64K-node machines
+ * construct in O(touched state) instead of O(P * cache size). The
+ * cache is owner-thread-only (plus the serialized controller
+ * phases), so sector pointers are plain, not atomic.
  */
 
 #ifndef T3DSIM_ALPHA_CACHE_HH
@@ -40,12 +47,19 @@ class DirectMappedCache
      */
     DirectMappedCache(std::uint64_t size_bytes, std::uint64_t line_bytes);
 
+    DirectMappedCache(const DirectMappedCache &) = delete;
+    DirectMappedCache &operator=(const DirectMappedCache &) = delete;
+    DirectMappedCache(DirectMappedCache &&other) noexcept;
+    DirectMappedCache &operator=(DirectMappedCache &&other) noexcept;
+    ~DirectMappedCache();
+
     /** True if the line holding @p pa is present. */
     bool
     probe(Addr pa) const
     {
-        const Line &line = _lines[indexOf(pa)];
-        return line.valid && line.tag == tagOf(pa);
+        const std::uint64_t idx = indexOf(pa);
+        const std::uint32_t *tags = _sectors[idx >> sectorShift];
+        return tags && tags[idx & (sectorLines - 1)] == tag32Of(pa);
     }
 
     /** Number of lines. */
@@ -71,11 +85,17 @@ class DirectMappedCache
     void
     fill(Addr pa, const std::uint8_t *line_data)
     {
+        T3D_ASSERT(tagOf(pa) < invalidTag,
+                   "cache tag overflows 32 bits: pa=", pa);
         const std::uint64_t idx = indexOf(pa);
-        Line &line = _lines[idx];
-        line.valid = true;
-        line.tag = tagOf(pa);
-        std::memcpy(lineData(idx), line_data, _lineBytes);
+        const std::uint64_t s = idx >> sectorShift;
+        std::uint32_t *tags = _sectors[s];
+        if (!tags) [[unlikely]]
+            tags = materializeSector(s);
+        const std::uint64_t lane = idx & (sectorLines - 1);
+        tags[lane] = tag32Of(pa);
+        std::memcpy(sectorData(tags) + lane * _lineBytes, line_data,
+                    _lineBytes);
     }
 
     /** Read @p len bytes at @p pa; the line must be present. */
@@ -90,12 +110,13 @@ class DirectMappedCache
     updateIfPresent(Addr pa, const void *src, std::size_t len)
     {
         const std::uint64_t idx = indexOf(pa);
-        Line &line = _lines[idx];
-        if (!line.valid || line.tag != tagOf(pa))
+        std::uint32_t *tags = _sectors[idx >> sectorShift];
+        const std::uint64_t lane = idx & (sectorLines - 1);
+        if (!tags || tags[lane] != tag32Of(pa))
             return false;
         const std::size_t off = pa & (_lineBytes - 1);
         T3D_ASSERT(off + len <= _lineBytes, "cache write crosses line");
-        std::memcpy(lineData(idx) + off, src, len);
+        std::memcpy(sectorData(tags) + lane * _lineBytes + off, src, len);
         return true;
     }
 
@@ -103,9 +124,11 @@ class DirectMappedCache
     void
     invalidate(Addr pa)
     {
-        Line &line = _lines[indexOf(pa)];
-        if (line.valid && line.tag == tagOf(pa))
-            line.valid = false;
+        const std::uint64_t idx = indexOf(pa);
+        std::uint32_t *tags = _sectors[idx >> sectorShift];
+        const std::uint64_t lane = idx & (sectorLines - 1);
+        if (tags && tags[lane] == tag32Of(pa))
+            tags[lane] = invalidTag;
     }
 
     /** Invalidate every line. */
@@ -114,33 +137,58 @@ class DirectMappedCache
     /** Count of currently valid lines (test support). */
     std::uint64_t validLines() const;
 
+    /** Number of 64-line sectors materialized so far (test support). */
+    std::uint64_t sectorsAllocated() const { return _sectorsAllocated; }
+
+    /** Host bytes resident for this cache model. */
+    std::size_t residentBytes() const;
+
   private:
-    struct Line
-    {
-        bool valid = false;
-        std::uint64_t tag = 0;
-    };
+    /** Lines per lazily-allocated tag+data sector. */
+    static constexpr unsigned sectorShift = 6;
+    static constexpr std::uint64_t sectorLines = 64;
 
-    /** Line-aligned base address of the line holding @p pa. */
-    Addr lineBase(Addr pa) const { return pa & ~(_lineBytes - 1); }
+    /** Tag sentinel: shifted physical addresses never reach 2^32-1. */
+    static constexpr std::uint32_t invalidTag = ~std::uint32_t{0};
 
-    /** Data bytes of line @p idx within the flat backing array. */
-    std::uint8_t *lineData(std::uint64_t idx)
+    std::uint32_t tag32Of(Addr pa) const
     {
-        return _data.data() + idx * _lineBytes;
+        return static_cast<std::uint32_t>(pa >> _tagShift);
     }
-    const std::uint8_t *lineData(std::uint64_t idx) const
+
+    /**
+     * A sector is one allocation: sectorLines 4-byte tags followed by
+     * sectorLines line-data payloads. The stored pointer addresses
+     * the tag array; data starts right after it.
+     */
+    std::uint8_t *sectorData(std::uint32_t *tags) const
     {
-        return _data.data() + idx * _lineBytes;
+        return reinterpret_cast<std::uint8_t *>(tags + sectorLines);
     }
+    const std::uint8_t *sectorData(const std::uint32_t *tags) const
+    {
+        return reinterpret_cast<const std::uint8_t *>(tags + sectorLines);
+    }
+
+    /** Allocate sector @p s with every tag invalid; returns its tags. */
+    std::uint32_t *materializeSector(std::uint64_t s);
+
+    std::size_t sectorAllocWords() const
+    {
+        return sectorLines + sectorLines * _lineBytes / sizeof(std::uint32_t);
+    }
+
+    void destroySectors();
 
     std::uint64_t _numLines;
     std::uint64_t _lineBytes;
     std::uint64_t _indexMask;
     unsigned _lineShift;
     unsigned _tagShift;
-    std::vector<Line> _lines;
-    std::vector<std::uint8_t> _data;
+
+    /** One slot per sector; null until a line in it is filled. */
+    std::vector<std::uint32_t *> _sectors;
+    std::uint64_t _sectorsAllocated = 0;
 };
 
 } // namespace t3dsim::alpha

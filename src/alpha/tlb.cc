@@ -8,7 +8,7 @@ namespace t3dsim::alpha
 {
 
 Tlb::Tlb(const Config &config)
-    : _config(config), _entries(config.entries)
+    : _config(config)
 {
     T3D_ASSERT(_config.entries > 0, "TLB needs entries");
     T3D_ASSERT(_config.pageBytes > 0, "TLB page size must be positive");
@@ -20,6 +20,8 @@ Tlb::Tlb(const Config &config)
 Cycles
 Tlb::accessScan(std::uint64_t page)
 {
+    if (_entries.empty()) [[unlikely]]
+        _entries.resize(_config.entries);
     Entry *victim = &_entries[0];
     for (auto &entry : _entries) {
         if (entry.valid && entry.page == page) {

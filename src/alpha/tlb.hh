@@ -82,6 +82,13 @@ class Tlb
     std::uint64_t misses() const { return _misses; }
     const Config &config() const { return _config; }
 
+    /** Host bytes resident for this TLB model. */
+    std::size_t
+    residentBytes() const
+    {
+        return sizeof(Tlb) + _entries.capacity() * sizeof(Entry);
+    }
+
   private:
     struct Entry
     {
@@ -102,6 +109,11 @@ class Tlb
     }
 
     Config _config;
+
+    /** Entry array, materialized on the first associative scan: an
+     *  untouched PE's TLB costs only the vector header. Empty and
+     *  full-size are the only states (access() treats empty as
+     *  all-invalid via the _lastHit bounds check). */
     std::vector<Entry> _entries;
 
     /** log2(pageBytes) when it is a power of two, else 0. */

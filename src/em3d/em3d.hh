@@ -212,6 +212,10 @@ struct Result
     Cycles elapsed = 0;
     std::uint64_t edgesPerPePerIter = 0;
     double checksum = 0;
+
+    /** Host bytes resident for the modeled machine after the run
+     *  (Machine::residentModelBytes; see DESIGN.md §11). */
+    std::uint64_t modeledBytes = 0;
 };
 
 /**

@@ -244,6 +244,7 @@ run(const Config &config, Version version,
         config.iterations;
     result.usPerEdge = cyclesToUs(result.elapsed) / edges;
     result.checksum = g.checksum(machine);
+    result.modeledBytes = machine.residentModelBytes();
     return result;
 }
 

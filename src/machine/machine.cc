@@ -78,6 +78,17 @@ Machine::remoteMemory(PeId pe)
     return node(pe);
 }
 
+std::size_t
+Machine::residentModelBytes() const
+{
+    std::size_t bytes = sizeof(Machine) + _barrier.residentBytes() -
+                        sizeof(shell::BarrierNetwork);
+    bytes += _nodes.capacity() * sizeof(_nodes[0]);
+    for (const auto &node : _nodes)
+        bytes += node->residentModelBytes();
+    return bytes;
+}
+
 probes::PerfCounters
 Machine::totalCounters() const
 {

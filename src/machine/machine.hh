@@ -69,6 +69,14 @@ class Machine : public shell::MachinePort
         _remoteRouter = router;
     }
 
+    /**
+     * Host bytes resident for the modeled machine state: every
+     * node's lazily-materialized components plus the barrier
+     * network (see DESIGN.md §11). Serial-only (walks node
+     * internals); intended for capacity reporting, not hot paths.
+     */
+    std::size_t residentModelBytes() const;
+
     /** @name Observability (see docs/OBSERVABILITY.md) */
     /// @{
     /** Effective switches (config merged with the environment). */

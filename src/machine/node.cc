@@ -1,6 +1,7 @@
 #include "machine/node.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "alpha/byte_ops.hh"
 #include "sim/logging.hh"
@@ -16,7 +17,8 @@ using alpha::vaIsAnnexed;
 Node::Node(const MachineConfig &config, PeId pe,
            shell::MachinePort &machine)
     : _config(config), _pe(pe), _machine(machine),
-      _storage(alpha::segBytes), _dram(config.dram), _tlb(config.tlb),
+      _storage(alpha::segBytes, config.resolvedStorageChunkShift()),
+      _dram(config.dram), _tlb(config.tlb),
       _dcache(config.dcacheBytes, config.dcacheLineBytes),
       _wb(config.writeBuffer, *this),
       _core(config.core, _clock, _tlb, _dcache, _wb, _dram, _storage),
@@ -25,10 +27,139 @@ Node::Node(const MachineConfig &config, PeId pe,
 {
 }
 
-Node::~Node()
+Node::~Node() = default;
+
+Node::ChannelTable::ChannelTable(std::uint32_t num_pes)
+    : _dense(num_pes <= densePes ? num_pes : 0)
 {
-    for (auto &slot : _channels)
-        delete slot.load(std::memory_order_relaxed);
+}
+
+Node::ChannelTable::~ChannelTable()
+{
+    forEach([](RequesterChannel &ch) { delete &ch; });
+    delete _table.load(std::memory_order_relaxed);
+}
+
+Node::ChannelTable::Table::Table(std::size_t cap)
+    : capacity(cap),
+      hashShift(64u - static_cast<unsigned>(std::countr_zero(cap))),
+      entries(new Entry[cap])
+{
+}
+
+Node::RequesterChannel *
+Node::ChannelTable::findSparse(PeId requester) const
+{
+    const Table *t = _table.load(std::memory_order_acquire);
+    if (!t)
+        return nullptr;
+    const std::uint32_t key = requester + 1;
+    std::size_t i = slotOf(key, *t);
+    for (;;) {
+        const std::uint32_t k =
+            t->entries[i].key.load(std::memory_order_acquire);
+        if (k == key)
+            return t->entries[i].chan.load(std::memory_order_relaxed);
+        if (k == 0)
+            return nullptr;
+        i = (i + 1) & (t->capacity - 1);
+    }
+}
+
+Node::ChannelTable::Table *
+Node::ChannelTable::grow(std::size_t capacity)
+{
+    // Called under _insertMutex. Entries move to the new table with
+    // plain (relaxed) stores; the release publication of the table
+    // pointer makes them visible to lock-free readers. The old table
+    // is retired, not freed: a reader may still hold its pointer.
+    auto next = std::make_unique<Table>(capacity);
+    if (Table *old = _table.load(std::memory_order_relaxed)) {
+        for (std::size_t i = 0; i < old->capacity; ++i) {
+            const std::uint32_t k =
+                old->entries[i].key.load(std::memory_order_relaxed);
+            if (k == 0)
+                continue;
+            std::size_t j = slotOf(k, *next);
+            while (next->entries[j].key.load(std::memory_order_relaxed))
+                j = (j + 1) & (next->capacity - 1);
+            next->entries[j].chan.store(
+                old->entries[i].chan.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            next->entries[j].key.store(k, std::memory_order_relaxed);
+        }
+        _retired.emplace_back(old);
+    }
+    Table *t = next.release();
+    _table.store(t, std::memory_order_release);
+    return t;
+}
+
+Node::RequesterChannel &
+Node::ChannelTable::getOrCreate(PeId requester,
+                                const mem::DramConfig &config,
+                                probes::PerfCounters *ctr)
+{
+    if (!_dense.empty()) {
+        // Dense slots have a single writer (their own requester), so
+        // no lock: release-publish pairs with the serial-phase scans.
+        auto &slot = _dense[requester];
+        RequesterChannel *ch = slot.load(std::memory_order_relaxed);
+        if (!ch) {
+            ch = new RequesterChannel(config);
+            if (ctr)
+                ch->dram.setCounters(ctr);
+            slot.store(ch, std::memory_order_release);
+            _count.fetch_add(1, std::memory_order_relaxed);
+        }
+        return *ch;
+    }
+
+    std::lock_guard<std::mutex> lock(_insertMutex);
+    Table *t = _table.load(std::memory_order_relaxed);
+    const std::uint32_t key = requester + 1;
+    if (t) {
+        std::size_t i = slotOf(key, *t);
+        for (;;) {
+            const std::uint32_t k =
+                t->entries[i].key.load(std::memory_order_relaxed);
+            if (k == key) // lost a race with ourselves? re-entrant find
+                return *t->entries[i].chan.load(std::memory_order_relaxed);
+            if (k == 0)
+                break;
+            i = (i + 1) & (t->capacity - 1);
+        }
+    }
+    const std::size_t count = _count.load(std::memory_order_relaxed);
+    if (!t || (count + 1) * 4 > t->capacity * 3)
+        t = grow(t ? t->capacity * 2 : 16);
+
+    auto *ch = new RequesterChannel(config);
+    if (ctr)
+        ch->dram.setCounters(ctr);
+    std::size_t i = slotOf(key, *t);
+    while (t->entries[i].key.load(std::memory_order_relaxed))
+        i = (i + 1) & (t->capacity - 1);
+    t->entries[i].chan.store(ch, std::memory_order_relaxed);
+    // Release on the key: a reader that acquires the key also sees
+    // the channel pointer and the constructed channel behind it.
+    t->entries[i].key.store(key, std::memory_order_release);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    return *ch;
+}
+
+std::size_t
+Node::ChannelTable::residentBytes() const
+{
+    std::size_t bytes = sizeof(ChannelTable) +
+                        _dense.capacity() * sizeof(_dense[0]) +
+                        channelCount() * sizeof(RequesterChannel);
+    if (const Table *t = _table.load(std::memory_order_acquire))
+        bytes += sizeof(Table) + t->capacity * sizeof(Entry);
+    bytes += _retired.capacity() * sizeof(_retired[0]);
+    for (const auto &t : _retired)
+        bytes += sizeof(Table) + t->capacity * sizeof(Entry);
+    return bytes;
 }
 
 Addr
@@ -176,36 +307,58 @@ Node::swap(Addr va, std::uint64_t new_value)
 Node::RequesterChannel &
 Node::channelFor(PeId requester)
 {
-    std::atomic<RequesterChannel *> &slot = _channels[requester];
-    RequesterChannel *channel = slot.load(std::memory_order_relaxed);
-    if (!channel) [[unlikely]] {
-        channel = new RequesterChannel(_config.dram);
-        // Remote requesters' accesses are events of this memory.
-        if (_countersOn)
-            channel->dram.setCounters(&_counters);
-        // Release-publish: a slot is only ever written from its own
-        // requester's host-execution context, so there is no store
-        // contention; the release pairs with enableObservability's
-        // (serial-phase) scan.
-        slot.store(channel, std::memory_order_release);
-    }
-    return *channel;
+    if (RequesterChannel *ch = _channels.find(requester)) [[likely]]
+        return *ch;
+    // Remote requesters' accesses are events of this memory, so the
+    // new channel inherits this node's counter record.
+    return _channels.getOrCreate(requester, _config.dram,
+                                 countersIfEnabled());
+}
+
+probes::PerfCounters &
+Node::counters()
+{
+    if (!_counters)
+        _counters = std::make_unique<probes::PerfCounters>();
+    return *_counters;
+}
+
+const probes::PerfCounters &
+Node::counters() const
+{
+    static const probes::PerfCounters zero{};
+    return _counters ? *_counters : zero;
 }
 
 void
 Node::enableObservability(bool counters_on, probes::TraceSink *trace)
 {
     _countersOn = counters_on;
+    if (counters_on)
+        counters(); // materialize while still serial
     probes::PerfCounters *ctr = countersIfEnabled();
     _core.setCounters(ctr);
     _tlb.setCounters(ctr);
     _wb.setCounters(ctr);
     _dram.setCounters(ctr);
-    for (auto &slot : _channels) {
-        if (RequesterChannel *ch = slot.load(std::memory_order_acquire))
-            ch->dram.setCounters(ctr);
-    }
+    _channels.forEach(
+        [ctr](RequesterChannel &ch) { ch.dram.setCounters(ctr); });
     _shell.setObservability(ctr, trace);
+}
+
+std::size_t
+Node::residentModelBytes() const
+{
+    std::size_t bytes = sizeof(Node);
+    bytes += _storage.residentBytes() - sizeof(mem::Storage);
+    bytes += _dcache.residentBytes() - sizeof(alpha::DirectMappedCache);
+    bytes += _tlb.residentBytes() - sizeof(alpha::Tlb);
+    bytes += _channels.residentBytes() - sizeof(ChannelTable);
+    bytes += _storeArrivals.residentBytes() - sizeof(ArrivalLog);
+    bytes += _amArrivals.residentBytes() - sizeof(ArrivalLog);
+    if (_counters)
+        bytes += sizeof(probes::PerfCounters);
+    return bytes;
 }
 
 Cycles

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "alpha/address.hh"
@@ -195,17 +196,36 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
     /** Remove all executor wakeup hooks. */
     void clearWakeupHooks();
 
+    /**
+     * Host bytes resident for this node's model state: the node
+     * object plus the dynamic parts of the dominant per-PE
+     * structures (storage chunks and directory, D-cache sectors,
+     * TLB entries, requester channels, counter block, arrival
+     * logs). Small fixed-size shell containers are excluded.
+     */
+    std::size_t residentModelBytes() const;
+
     /** @name Observability */
     /// @{
-    /** This node's event record (zeros unless counters are on). */
-    probes::PerfCounters &counters() { return _counters; }
-    const probes::PerfCounters &counters() const { return _counters; }
+    /**
+     * This node's event record. The non-const accessor materializes
+     * the (lazily-allocated) record and must only be called from
+     * serial phases; the const accessor never allocates and returns
+     * a shared all-zero record while the node has none.
+     */
+    probes::PerfCounters &counters();
+    const probes::PerfCounters &counters() const;
 
-    /** The record when counting is enabled, nullptr otherwise. */
+    /**
+     * The record when counting is enabled, nullptr otherwise. When
+     * counting is enabled the record was materialized at
+     * enableObservability() time, so this is safe from any host
+     * thread.
+     */
     probes::PerfCounters *
     countersIfEnabled()
     {
-        return _countersOn ? &_counters : nullptr;
+        return _countersOn ? _counters.get() : nullptr;
     }
 
     /**
@@ -252,12 +272,9 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
      * for the column cycle — what makes 16 KB-stride non-blocking
      * writes visibly slower (§5.3).
      *
-     * Stored as a flat array indexed by requester — a plain load on
-     * the remote-access hot path (the old per-op hash lookups showed
-     * up at 256 PEs) — with atomically published lazily-allocated
-     * entries. A channel is only ever touched from the requester's
-     * own host-execution context, so the parallel scheduler can
-     * compute write timing in-window without racing the owner.
+     * A channel is only ever touched from the requester's own
+     * host-execution context, so the parallel scheduler can compute
+     * write timing in-window without racing the owner.
      */
     struct RequesterChannel
     {
@@ -270,13 +287,123 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
         Cycles writePortFree = 0;
     };
 
+    /**
+     * Requester → channel map with two representations. Small
+     * machines keep the historical dense flat array indexed by
+     * requester — a plain load on the remote-access hot path (the
+     * old per-op hash lookups showed up at 256 PEs) — with
+     * atomically published lazily-allocated entries; each slot has a
+     * single writer (its own requester), so dense inserts need no
+     * lock. Beyond densePes the array itself would be the O(P^2)
+     * footprint (512 KB per node at 64K PEs before a single access),
+     * so large machines switch to an open-addressing hash sized by
+     * the requesters actually seen: lookups are lock-free
+     * (acquire-published keys over release-stored channel pointers),
+     * inserts — rare, once per (node, requester) — serialize on a
+     * mutex because distinct requesters on different shards may
+     * insert concurrently. Grown tables are retired, not freed, so a
+     * concurrent reader's table pointer stays valid for the node's
+     * lifetime.
+     */
+    class ChannelTable
+    {
+      public:
+        explicit ChannelTable(std::uint32_t num_pes);
+        ~ChannelTable();
+
+        ChannelTable(const ChannelTable &) = delete;
+        ChannelTable &operator=(const ChannelTable &) = delete;
+
+        /** Lock-free lookup; nullptr if never materialized. */
+        RequesterChannel *
+        find(PeId requester) const
+        {
+            if (!_dense.empty())
+                return _dense[requester].load(std::memory_order_relaxed);
+            return findSparse(requester);
+        }
+
+        /** Materialize (or return) the channel for @p requester. */
+        RequesterChannel &getOrCreate(PeId requester,
+                                      const mem::DramConfig &config,
+                                      probes::PerfCounters *ctr);
+
+        /** Visit every materialized channel (serial phases only). */
+        template <typename F>
+        void
+        forEach(F &&f)
+        {
+            if (!_dense.empty()) {
+                for (auto &slot : _dense)
+                    if (RequesterChannel *ch =
+                            slot.load(std::memory_order_acquire))
+                        f(*ch);
+                return;
+            }
+            const Table *t = _table.load(std::memory_order_acquire);
+            if (!t)
+                return;
+            for (std::size_t i = 0; i < t->capacity; ++i)
+                if (RequesterChannel *ch = t->entries[i].chan.load(
+                        std::memory_order_acquire))
+                    f(*ch);
+        }
+
+        /** Channels materialized so far. */
+        std::size_t
+        channelCount() const
+        {
+            return _count.load(std::memory_order_relaxed);
+        }
+
+        /** Host bytes resident (self + tables + channels). */
+        std::size_t residentBytes() const;
+
+        /** Largest machine still using the dense representation. */
+        static constexpr std::uint32_t densePes = 1024;
+
+      private:
+        struct Entry
+        {
+            std::atomic<std::uint32_t> key{0}; ///< requester+1; 0 empty
+            std::atomic<RequesterChannel *> chan{nullptr};
+        };
+
+        struct Table
+        {
+            explicit Table(std::size_t cap);
+            std::size_t capacity;
+            unsigned hashShift; ///< 64 - log2(capacity)
+            std::unique_ptr<Entry[]> entries;
+        };
+
+        static std::size_t
+        slotOf(std::uint32_t key, const Table &t)
+        {
+            return static_cast<std::size_t>(
+                (key * 0x9E3779B97F4A7C15ull) >> t.hashShift);
+        }
+
+        RequesterChannel *findSparse(PeId requester) const;
+
+        /** Rehash into a table of @p capacity; returns it published. */
+        Table *grow(std::size_t capacity);
+
+        std::vector<std::atomic<RequesterChannel *>> _dense;
+        std::atomic<Table *> _table{nullptr};
+        std::vector<std::unique_ptr<Table>> _retired;
+        std::mutex _insertMutex;
+        std::atomic<std::size_t> _count{0};
+    };
+
     RequesterChannel &channelFor(PeId requester);
 
-    std::vector<std::atomic<RequesterChannel *>> _channels;
+    ChannelTable _channels;
 
     Addr _allocNext = allocBase;
 
-    probes::PerfCounters _counters;
+    /** Materialized on first use / at enableObservability(true). */
+    std::unique_ptr<probes::PerfCounters> _counters;
     bool _countersOn = false;
 };
 

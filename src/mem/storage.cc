@@ -1,5 +1,6 @@
 #include "mem/storage.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -7,18 +8,26 @@
 namespace t3dsim::mem
 {
 
-Storage::Storage(Addr limit)
+Storage::Storage(Addr limit, unsigned chunk_shift)
     : _limit(limit),
-      _slots((limit + chunkBytes - 1) / chunkBytes)
+      _chunkShift(std::clamp(chunk_shift, minChunkShift, maxChunkShift)),
+      _chunkSize(std::size_t{1} << _chunkShift),
+      _chunkMask(_chunkSize - 1),
+      _groups((((limit + _chunkSize - 1) >> _chunkShift) + groupSlots - 1)
+              >> groupShift)
 {
 }
 
 Storage::Storage(Storage &&other) noexcept
-    : _limit(other._limit), _slots(std::move(other._slots)),
+    : _limit(other._limit), _chunkShift(other._chunkShift),
+      _chunkSize(other._chunkSize), _chunkMask(other._chunkMask),
+      _groups(std::move(other._groups)),
       _chunksAllocated(other._chunksAllocated),
+      _groupsAllocated(other._groupsAllocated),
       _cachedKey(other._cachedKey), _cachedChunk(other._cachedChunk)
 {
     other._chunksAllocated = 0;
+    other._groupsAllocated = 0;
     other._cachedKey = noChunk;
     other._cachedChunk = nullptr;
 }
@@ -29,11 +38,16 @@ Storage::operator=(Storage &&other) noexcept
     if (this != &other) {
         destroyChunks();
         _limit = other._limit;
-        _slots = std::move(other._slots);
+        _chunkShift = other._chunkShift;
+        _chunkSize = other._chunkSize;
+        _chunkMask = other._chunkMask;
+        _groups = std::move(other._groups);
         _chunksAllocated = other._chunksAllocated;
+        _groupsAllocated = other._groupsAllocated;
         _cachedKey = other._cachedKey;
         _cachedChunk = other._cachedChunk;
         other._chunksAllocated = 0;
+        other._groupsAllocated = 0;
         other._cachedKey = noChunk;
         other._cachedChunk = nullptr;
     }
@@ -45,8 +59,14 @@ Storage::~Storage() { destroyChunks(); }
 void
 Storage::destroyChunks()
 {
-    for (auto &slot : _slots)
-        delete slot.load(std::memory_order_relaxed);
+    for (auto &gslot : _groups) {
+        Group *g = gslot.load(std::memory_order_relaxed);
+        if (!g)
+            continue;
+        for (auto &slot : g->slots)
+            delete[] slot.load(std::memory_order_relaxed);
+        delete g;
+    }
 }
 
 void
@@ -57,33 +77,47 @@ Storage::checkRange(Addr addr, std::size_t len) const
                  " limit=", _limit);
 }
 
-Storage::Chunk &
+std::uint8_t *
 Storage::chunkFor(Addr addr)
 {
-    const Addr key = addr / chunkBytes;
+    const Addr key = addr >> _chunkShift;
     if (key == _cachedKey)
-        return *_cachedChunk;
-    Chunk *chunk = _slots[key].load(std::memory_order_relaxed);
+        return _cachedChunk;
+    auto &gslot = _groups[key >> groupShift];
+    Group *g = gslot.load(std::memory_order_relaxed);
+    if (!g) {
+        g = new Group();
+        // Release-publish so a concurrent reader that observes the
+        // group also observes its null slot pointers.
+        gslot.store(g, std::memory_order_release);
+        ++_groupsAllocated;
+    }
+    auto &slot = g->slots[key & (groupSlots - 1)];
+    std::uint8_t *chunk = slot.load(std::memory_order_relaxed);
     if (!chunk) {
-        chunk = new Chunk();
-        chunk->fill(0);
+        chunk = new std::uint8_t[_chunkSize]();
         // Release-publish so a concurrent reader that observes the
         // pointer also observes the zero fill.
-        _slots[key].store(chunk, std::memory_order_release);
+        slot.store(chunk, std::memory_order_release);
         ++_chunksAllocated;
     }
     _cachedKey = key;
     _cachedChunk = chunk;
-    return *chunk;
+    return chunk;
 }
 
-const Storage::Chunk *
+const std::uint8_t *
 Storage::chunkIfPresent(Addr addr) const
 {
-    const Addr key = addr / chunkBytes;
+    const Addr key = addr >> _chunkShift;
     if (key == _cachedKey)
         return _cachedChunk;
-    Chunk *chunk = _slots[key].load(std::memory_order_relaxed);
+    const Group *g =
+        _groups[key >> groupShift].load(std::memory_order_relaxed);
+    if (!g)
+        return nullptr;
+    std::uint8_t *chunk =
+        g->slots[key & (groupSlots - 1)].load(std::memory_order_relaxed);
     if (!chunk)
         return nullptr;
     _cachedKey = key;
@@ -91,32 +125,40 @@ Storage::chunkIfPresent(Addr addr) const
     return chunk;
 }
 
+std::size_t
+Storage::residentBytes() const
+{
+    return sizeof(Storage) + _groups.capacity() * sizeof(_groups[0]) +
+           _groupsAllocated * sizeof(Group) +
+           _chunksAllocated * _chunkSize;
+}
+
 std::uint8_t
 Storage::readU8(Addr addr) const
 {
     checkRange(addr, 1);
-    const Chunk *chunk = chunkIfPresent(addr);
-    return chunk ? (*chunk)[addr % chunkBytes] : 0;
+    const std::uint8_t *chunk = chunkIfPresent(addr);
+    return chunk ? chunk[addr & _chunkMask] : 0;
 }
 
 void
 Storage::writeU8(Addr addr, std::uint8_t value)
 {
     checkRange(addr, 1);
-    chunkFor(addr)[addr % chunkBytes] = value;
+    chunkFor(addr)[addr & _chunkMask] = value;
 }
 
 std::uint32_t
 Storage::readU32(Addr addr) const
 {
     checkRange(addr, sizeof(std::uint32_t));
-    const std::size_t off = addr % chunkBytes;
-    if (off + sizeof(std::uint32_t) <= chunkBytes) [[likely]] {
-        const Chunk *chunk = chunkIfPresent(addr);
+    const std::size_t off = addr & _chunkMask;
+    if (off + sizeof(std::uint32_t) <= _chunkSize) [[likely]] {
+        const std::uint8_t *chunk = chunkIfPresent(addr);
         if (!chunk)
             return 0;
         std::uint32_t v;
-        std::memcpy(&v, chunk->data() + off, sizeof(v));
+        std::memcpy(&v, chunk + off, sizeof(v));
         return v;
     }
     std::uint32_t v = 0;
@@ -128,9 +170,9 @@ void
 Storage::writeU32(Addr addr, std::uint32_t value)
 {
     checkRange(addr, sizeof(value));
-    const std::size_t off = addr % chunkBytes;
-    if (off + sizeof(value) <= chunkBytes) [[likely]] {
-        std::memcpy(chunkFor(addr).data() + off, &value, sizeof(value));
+    const std::size_t off = addr & _chunkMask;
+    if (off + sizeof(value) <= _chunkSize) [[likely]] {
+        std::memcpy(chunkFor(addr) + off, &value, sizeof(value));
         return;
     }
     writeBlock(addr, &value, sizeof(value));
@@ -140,13 +182,13 @@ std::uint64_t
 Storage::readU64(Addr addr) const
 {
     checkRange(addr, sizeof(std::uint64_t));
-    const std::size_t off = addr % chunkBytes;
-    if (off + sizeof(std::uint64_t) <= chunkBytes) [[likely]] {
-        const Chunk *chunk = chunkIfPresent(addr);
+    const std::size_t off = addr & _chunkMask;
+    if (off + sizeof(std::uint64_t) <= _chunkSize) [[likely]] {
+        const std::uint8_t *chunk = chunkIfPresent(addr);
         if (!chunk)
             return 0;
         std::uint64_t v;
-        std::memcpy(&v, chunk->data() + off, sizeof(v));
+        std::memcpy(&v, chunk + off, sizeof(v));
         return v;
     }
     std::uint64_t v = 0;
@@ -158,9 +200,9 @@ void
 Storage::writeU64(Addr addr, std::uint64_t value)
 {
     checkRange(addr, sizeof(value));
-    const std::size_t off = addr % chunkBytes;
-    if (off + sizeof(value) <= chunkBytes) [[likely]] {
-        std::memcpy(chunkFor(addr).data() + off, &value, sizeof(value));
+    const std::size_t off = addr & _chunkMask;
+    if (off + sizeof(value) <= _chunkSize) [[likely]] {
+        std::memcpy(chunkFor(addr) + off, &value, sizeof(value));
         return;
     }
     writeBlock(addr, &value, sizeof(value));
@@ -172,11 +214,11 @@ Storage::readBlock(Addr addr, void *dst, std::size_t len) const
     checkRange(addr, len);
     auto *out = static_cast<std::uint8_t *>(dst);
     while (len > 0) {
-        std::size_t off = addr % chunkBytes;
-        std::size_t take = std::min(len, chunkBytes - off);
-        const Chunk *chunk = chunkIfPresent(addr);
+        std::size_t off = addr & _chunkMask;
+        std::size_t take = std::min(len, _chunkSize - off);
+        const std::uint8_t *chunk = chunkIfPresent(addr);
         if (chunk)
-            std::memcpy(out, chunk->data() + off, take);
+            std::memcpy(out, chunk + off, take);
         else
             std::memset(out, 0, take);
         out += take;
@@ -191,11 +233,11 @@ Storage::readBlockConcurrent(Addr addr, void *dst, std::size_t len) const
     checkRange(addr, len);
     auto *out = static_cast<std::uint8_t *>(dst);
     while (len > 0) {
-        std::size_t off = addr % chunkBytes;
-        std::size_t take = std::min(len, chunkBytes - off);
-        const Chunk *chunk = chunkIfPresentConcurrent(addr);
+        std::size_t off = addr & _chunkMask;
+        std::size_t take = std::min(len, _chunkSize - off);
+        const std::uint8_t *chunk = chunkIfPresentConcurrent(addr);
         if (chunk)
-            std::memcpy(out, chunk->data() + off, take);
+            std::memcpy(out, chunk + off, take);
         else
             std::memset(out, 0, take);
         out += take;
@@ -204,15 +246,26 @@ Storage::readBlockConcurrent(Addr addr, void *dst, std::size_t len) const
     }
 }
 
+const std::uint8_t *
+Storage::peekSpanConcurrent(Addr addr, std::size_t max_len,
+                            std::size_t &span) const
+{
+    checkRange(addr, max_len ? 1 : 0);
+    const std::size_t off = addr & _chunkMask;
+    span = std::min(max_len, _chunkSize - off);
+    const std::uint8_t *chunk = chunkIfPresentConcurrent(addr);
+    return chunk ? chunk + off : nullptr;
+}
+
 void
 Storage::writeBlock(Addr addr, const void *src, std::size_t len)
 {
     checkRange(addr, len);
     const auto *in = static_cast<const std::uint8_t *>(src);
     while (len > 0) {
-        std::size_t off = addr % chunkBytes;
-        std::size_t take = std::min(len, chunkBytes - off);
-        std::memcpy(chunkFor(addr).data() + off, in, take);
+        std::size_t off = addr & _chunkMask;
+        std::size_t take = std::min(len, _chunkSize - off);
+        std::memcpy(chunkFor(addr) + off, in, take);
         in += take;
         addr += take;
         len -= take;
@@ -229,12 +282,12 @@ Storage::writeMasked(Addr addr, const std::uint8_t *data,
     while (i < len) {
         if (!(mask >> i)) // no set bits left
             return;
-        const std::size_t off = (addr + i) % chunkBytes;
-        const std::size_t take = std::min(len - i, chunkBytes - off);
+        const std::size_t off = (addr + i) & _chunkMask;
+        const std::size_t take = std::min(len - i, _chunkSize - off);
         const std::uint64_t span_mask =
             take >= 64 ? ~std::uint64_t{0} >> (64 - len)
                        : ((std::uint64_t{1} << take) - 1) << i;
-        std::uint8_t *base = chunkFor(addr + i).data() + off - i;
+        std::uint8_t *base = chunkFor(addr + i) + off - i;
         if ((mask & span_mask) == span_mask) {
             // Full span (the common case: a whole line commit).
             std::memcpy(base + i, data + i, take);

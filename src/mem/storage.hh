@@ -12,19 +12,29 @@
  * Host-performance notes: consecutive accesses overwhelmingly hit
  * the same chunk (stride probes, EM3D ghost fills, line commits), so
  * a one-entry last-chunk cache answers the chunk lookup with a tag
- * compare, backed by a flat array of chunk slots indexed directly by
- * addr/chunkBytes (no hashing). The slot array holds atomic chunk
- * pointers published with release semantics, which makes the
- * lock-free readBlockConcurrent() path safe for the host-parallel
- * scheduler: a worker thread on another shard may read a node's
- * storage while the owner allocates new chunks. Purely host-side:
- * simulated timing is charged by the callers and unaffected.
+ * compare. Behind the cache sits a two-level directory: a flat array
+ * of group pointers, each group covering groupSlots consecutive
+ * chunk slots and materialized only when the first chunk in its
+ * range is written. An untouched storage therefore costs one small
+ * top-level array (a few cache lines for a 128 MB segment) instead
+ * of a full slot directory — the flyweight property that makes
+ * 64K-node machines affordable. Both levels hold atomic pointers
+ * published with release semantics, which makes the lock-free
+ * readBlockConcurrent() path safe for the host-parallel scheduler:
+ * a worker thread on another shard may read a node's storage while
+ * the owner allocates new chunks. Purely host-side: simulated timing
+ * is charged by the callers and unaffected.
+ *
+ * The chunk size is a per-instance power of two. Small-machine nodes
+ * keep the historical 64 KiB default; large tori use finer chunks so
+ * a node that only ever touches its stack and a few ghost lines pays
+ * KBs, not 64 KiB per touched region (see
+ * machine::MachineConfig::storageChunkShift).
  */
 
 #ifndef T3DSIM_MEM_STORAGE_HH
 #define T3DSIM_MEM_STORAGE_HH
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -38,8 +48,23 @@ namespace t3dsim::mem
 class Storage
 {
   public:
-    /** @param limit One-past-the-last valid byte address. */
-    explicit Storage(Addr limit = Addr{1} << 32);
+    /** log2 of the default chunk size (64 KiB). */
+    static constexpr unsigned defaultChunkShift = 16;
+
+    /** Bytes per lazily-allocated chunk of a default-built Storage. */
+    static constexpr std::size_t chunkBytes = std::size_t{1}
+                                              << defaultChunkShift;
+
+    /** Chunk slots per lazily-allocated directory group. */
+    static constexpr std::size_t groupSlots = 256;
+
+    /**
+     * @param limit One-past-the-last valid byte address.
+     * @param chunk_shift log2 of the chunk size; clamped to
+     *        [minChunkShift, maxChunkShift].
+     */
+    explicit Storage(Addr limit = Addr{1} << 32,
+                     unsigned chunk_shift = defaultChunkShift);
 
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
@@ -49,6 +74,9 @@ class Storage
 
     /** One-past-the-last valid byte address. */
     Addr limit() const { return _limit; }
+
+    /** Bytes per chunk of this instance. */
+    std::size_t chunkSize() const { return _chunkSize; }
 
     std::uint8_t readU8(Addr addr) const;
     void writeU8(Addr addr, std::uint8_t value);
@@ -67,14 +95,27 @@ class Storage
     /**
      * readBlock without the one-entry cache: safe to call from a
      * host thread other than the owner's while the owner allocates
-     * chunks (chunk pointers are published with release semantics
-     * and never freed or moved once materialized). Byte-level
-     * visibility of concurrently written data is the caller's
-     * responsibility — the parallel scheduler only routes reads here
-     * whose producing writes are ordered by simulated synchronization
-     * (and therefore by the window-barrier host synchronization).
+     * chunks (group and chunk pointers are published with release
+     * semantics and never freed or moved once materialized).
+     * Byte-level visibility of concurrently written data is the
+     * caller's responsibility — the parallel scheduler only routes
+     * reads here whose producing writes are ordered by simulated
+     * synchronization (and therefore by the window-barrier host
+     * synchronization).
      */
     void readBlockConcurrent(Addr addr, void *dst, std::size_t len) const;
+
+    /**
+     * Zero-copy peek at the backing bytes of @p addr, using the
+     * concurrent (cache-free, acquire) lookup path. Sets @p span to
+     * the number of contiguous bytes available from @p addr to the
+     * end of its chunk, capped at @p max_len, and returns a pointer
+     * to them — or nullptr if the chunk was never materialized, in
+     * which case the span reads as zeros. Lets sparse scans (e.g.
+     * the stress harness checksum) skip untouched chunks in O(1).
+     */
+    const std::uint8_t *peekSpanConcurrent(Addr addr, std::size_t max_len,
+                                           std::size_t &span) const;
 
     /** Copy @p len bytes from @p src into storage. */
     void writeBlock(Addr addr, const void *src, std::size_t len);
@@ -91,42 +132,66 @@ class Storage
     /** Number of chunks materialized so far (test support). */
     std::size_t chunksAllocated() const { return _chunksAllocated; }
 
-    /** Bytes per lazily-allocated chunk. */
-    static constexpr std::size_t chunkBytes = 64 * KiB;
+    /** Number of directory groups materialized so far. */
+    std::size_t groupsAllocated() const { return _groupsAllocated; }
+
+    /** Host bytes resident for this store (directory + chunks). */
+    std::size_t residentBytes() const;
+
+    /** Smallest / largest supported chunk shift. */
+    static constexpr unsigned minChunkShift = 9;   // 512 B
+    static constexpr unsigned maxChunkShift = 24;  // 16 MiB
 
   private:
-    using Chunk = std::array<std::uint8_t, chunkBytes>;
+    /** One directory group: a run of atomic chunk pointers. */
+    struct Group
+    {
+        std::atomic<std::uint8_t *> slots[groupSlots] = {};
+    };
+
+    static constexpr unsigned groupShift = 8;
+    static_assert(groupSlots == std::size_t{1} << groupShift);
 
     /** Tag value meaning "last-chunk cache empty". */
     static constexpr Addr noChunk = ~Addr{0};
 
     /** Chunk holding @p addr, materializing it zero-filled if needed. */
-    Chunk &chunkFor(Addr addr);
+    std::uint8_t *chunkFor(Addr addr);
 
     /** Chunk holding @p addr, or nullptr if never written. */
-    const Chunk *chunkIfPresent(Addr addr) const;
+    const std::uint8_t *chunkIfPresent(Addr addr) const;
 
-    /** Slot lookup without touching the one-entry cache. */
-    const Chunk *
+    /** Two-level lookup without touching the one-entry cache. */
+    const std::uint8_t *
     chunkIfPresentConcurrent(Addr addr) const
     {
-        return _slots[addr / chunkBytes].load(std::memory_order_acquire);
+        const Addr key = addr >> _chunkShift;
+        const Group *g =
+            _groups[key >> groupShift].load(std::memory_order_acquire);
+        if (!g)
+            return nullptr;
+        return g->slots[key & (groupSlots - 1)].load(
+            std::memory_order_acquire);
     }
 
     void checkRange(Addr addr, std::size_t len) const;
     void destroyChunks();
 
     Addr _limit;
+    unsigned _chunkShift;
+    std::size_t _chunkSize;
+    Addr _chunkMask;
 
-    /** One slot per possible chunk; null until materialized. */
-    std::vector<std::atomic<Chunk *>> _slots;
+    /** Top level: one slot per group; null until materialized. */
+    std::vector<std::atomic<Group *>> _groups;
     std::size_t _chunksAllocated = 0;
+    std::size_t _groupsAllocated = 0;
 
     /** One-entry chunk cache (chunk pointers are stable: chunks are
      *  never freed or reallocated once materialized). Owner-thread
      *  only: concurrent readers go through the *Concurrent path. */
     mutable Addr _cachedKey = noChunk;
-    mutable Chunk *_cachedChunk = nullptr;
+    mutable std::uint8_t *_cachedChunk = nullptr;
 };
 
 } // namespace t3dsim::mem

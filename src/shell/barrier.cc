@@ -8,26 +8,56 @@ namespace t3dsim::shell
 {
 
 BarrierNetwork::BarrierNetwork(std::uint32_t pes, Cycles latency_cycles)
-    : _pes(pes), _latency(latency_cycles), _present(pes, false)
+    : _pes(pes), _latency(latency_cycles),
+      _leaves((pes + radix - 1) / radix)
 {
     T3D_ASSERT(pes > 0, "barrier needs at least one PE");
+    std::size_t width = _leaves.size();
+    for (;;) {
+        _levels.emplace_back(width);
+        if (width == 1)
+            break;
+        width = (width + radix - 1) / radix;
+    }
 }
 
 std::optional<Cycles>
 BarrierNetwork::arrive(PeId pe, Cycles when)
 {
     T3D_ASSERT(pe < _pes, "barrier arrival from unknown PE ", pe);
-    T3D_ASSERT(!_present[pe],
+
+    LeafGroup &leaf = _leaves[pe >> radixLog2];
+    if (leaf.gen != _generation) {
+        leaf.gen = _generation;
+        leaf.present = 0;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << (pe & (radix - 1));
+    T3D_ASSERT(!(leaf.present & bit),
                "PE ", pe, " arrived twice in barrier generation ",
                _generation);
-    _present[pe] = true;
-    ++_arrived;
+    leaf.present |= bit;
+
     // A stale arrival timestamp from before the previous generation's
     // exit cannot rewind the wired OR: the line only clears at that
     // exit, so an earlier @p when is clamped to it. Without this a
-    // new generation (whose _maxArrival restarts at 0) could compute
-    // an exit time before the previous generation's.
-    _maxArrival = std::max({_maxArrival, when, _lastExit});
+    // new generation (whose max restarts at 0) could compute an exit
+    // time before the previous generation's. Clamping per arrival
+    // yields the same root max as the flat running max did.
+    const Cycles clamped = std::max(when, _lastExit);
+
+    std::size_t idx = pe >> radixLog2;
+    for (auto &level : _levels) {
+        TreeNode &node = level[idx];
+        if (node.gen != _generation) {
+            node.gen = _generation;
+            node.count = 0;
+            node.maxArrival = 0;
+        }
+        ++node.count;
+        node.maxArrival = std::max(node.maxArrival, clamped);
+        idx >>= radixLog2;
+    }
+
     if (complete())
         return exitTime();
     return std::nullopt;
@@ -37,7 +67,7 @@ Cycles
 BarrierNetwork::exitTime() const
 {
     T3D_ASSERT(complete(), "barrier exit time queried before completion");
-    return _maxArrival + _latency;
+    return root().maxArrival + _latency;
 }
 
 void
@@ -45,10 +75,20 @@ BarrierNetwork::resetGeneration()
 {
     T3D_ASSERT(complete(), "barrier generation reset while incomplete");
     _lastExit = exitTime();
-    std::fill(_present.begin(), _present.end(), false);
-    _arrived = 0;
-    _maxArrival = 0;
+    // Stale stamps make every leaf and node self-reset on first
+    // touch of the new generation: no O(P) fill.
     ++_generation;
+}
+
+std::size_t
+BarrierNetwork::residentBytes() const
+{
+    std::size_t bytes = sizeof(BarrierNetwork) +
+                        _leaves.capacity() * sizeof(LeafGroup);
+    bytes += _levels.capacity() * sizeof(_levels[0]);
+    for (const auto &level : _levels)
+        bytes += level.capacity() * sizeof(TreeNode);
+    return bytes;
 }
 
 } // namespace t3dsim::shell

@@ -11,6 +11,20 @@
  *
  * This class is the machine-wide timing state; coroutine suspension
  * is handled by the SPMD executor.
+ *
+ * Host-performance notes: the aggregation is a radix-64 tree with
+ * generation-stamped lazy reset, mirroring the physical wired-OR
+ * fan-in. Each arrival updates one 64-PE leaf group (a presence
+ * bitmask for the double-arrival check) and O(log64 P) tree nodes
+ * carrying (count, max arrival); a node whose generation stamp is
+ * stale is reinitialized on first touch, which makes
+ * resetGeneration() O(1) — bump the generation — instead of the old
+ * O(P) presence-vector fill. At 64K PEs a full barrier episode costs
+ * ~3 node updates per arrival and a constant-time reset, and the
+ * whole network is ~32 KB regardless of activity. Exit times are
+ * bit-identical to the flat implementation: the root's max over
+ * per-arrival clamped timestamps equals the flat running max (pinned
+ * by tests/shell/barrier_test.cc's reference-model equivalence).
  */
 
 #ifndef T3DSIM_SHELL_BARRIER_HH
@@ -45,28 +59,71 @@ class BarrierNetwork
     std::optional<Cycles> arrive(PeId pe, Cycles when);
 
     /** True once every PE has arrived in this generation. */
-    bool complete() const { return _arrived == _pes; }
+    bool complete() const { return arrivedCount() == _pes; }
 
     /** Exit time of the completed generation. */
     Cycles exitTime() const;
 
-    /** Begin the next generation (end-barrier reset). */
+    /** Begin the next generation (end-barrier reset). O(1). */
     void resetGeneration();
 
     /** Exit time of the most recently completed generation. */
     Cycles lastExitTime() const { return _lastExit; }
 
     std::uint32_t generation() const { return _generation; }
-    std::uint32_t arrivedCount() const { return _arrived; }
+
+    /** Arrivals so far in the current generation. */
+    std::uint32_t
+    arrivedCount() const
+    {
+        const TreeNode &r = root();
+        return r.gen == _generation ? r.count : 0;
+    }
+
     std::uint32_t numPes() const { return _pes; }
     Cycles latencyCycles() const { return _latency; }
 
+    /** Host bytes resident for the aggregation tree. */
+    std::size_t residentBytes() const;
+
   private:
+    /** Fan-in per tree level (and PEs per leaf group). */
+    static constexpr unsigned radixLog2 = 6;
+    static constexpr std::uint32_t radix = 1u << radixLog2;
+
+    /** Stamp no generation counter starts at (lazy-reset marker). */
+    static constexpr std::uint32_t staleGen = ~std::uint32_t{0};
+
+    /**
+     * One aggregation node: arrivals and max clamped arrival time in
+     * its subtree, valid only while gen matches the current
+     * generation (stale nodes are zeroed on first touch). The
+     * 32-bit stamp would alias only after 2^32 - 1 generations.
+     */
+    struct TreeNode
+    {
+        std::uint32_t gen = staleGen;
+        std::uint32_t count = 0;
+        Cycles maxArrival = 0;
+    };
+
+    /** Presence bitmask of one group of 64 PEs (double-arrival check). */
+    struct LeafGroup
+    {
+        std::uint32_t gen = staleGen;
+        std::uint64_t present = 0;
+    };
+
+    const TreeNode &root() const { return _levels.back()[0]; }
+
     std::uint32_t _pes;
     Cycles _latency;
-    std::vector<bool> _present;
-    std::uint32_t _arrived = 0;
-    Cycles _maxArrival = 0;
+
+    std::vector<LeafGroup> _leaves;
+
+    /** _levels[0] aggregates leaf groups; back() is the root. */
+    std::vector<std::vector<TreeNode>> _levels;
+
     std::uint32_t _generation = 0;
     Cycles _lastExit = 0;
 };

@@ -19,17 +19,29 @@ ArrivalLog::record(Cycles when, std::uint64_t amount)
         std::uint64_t cum = amount;
         if (_prefixValid == _entries.size()) {
             // Common case: the prefix stays fully valid.
-            if (!_entries.empty())
-                cum += _entries.back().cum;
+            cum += _entries.empty() ? _cumBase : _entries.back().cum;
             ++_prefixValid;
         }
         _entries.push_back({when, amount, cum});
     } else {
+        // Ordered insert among the *live* entries only: the fully
+        // consumed prefix is semantically gone.
         auto pos = std::upper_bound(
-            _entries.begin(), _entries.end(), when,
-            [](Cycles t, const Entry &e) { return t < e.when; });
+            _entries.begin() + static_cast<long>(_head), _entries.end(),
+            when, [](Cycles t, const Entry &e) { return t < e.when; });
         const auto idx =
             static_cast<std::size_t>(pos - _entries.begin());
+        if (idx == _head && _headConsumed > 0) {
+            // The new entry lands in front of a partially-consumed
+            // one. Fold the partial consumption into the old head —
+            // shrinking its recorded amount and forgetting those
+            // units were ever consumed — so the head cursor cleanly
+            // refers to the new entry. Unconsumed totals and all
+            // query answers are unchanged.
+            _entries[_head].amount -= _headConsumed;
+            _consumedTotal -= _headConsumed;
+            _headConsumed = 0;
+        }
         _entries.insert(pos, {when, amount, 0});
         _prefixValid = std::min(_prefixValid, idx);
     }
@@ -41,7 +53,7 @@ void
 ArrivalLog::refreshPrefix() const
 {
     std::uint64_t acc =
-        _prefixValid ? _entries[_prefixValid - 1].cum : 0;
+        _prefixValid ? _entries[_prefixValid - 1].cum : _cumBase;
     for (std::size_t i = _prefixValid; i < _entries.size(); ++i) {
         acc += _entries[i].amount;
         _entries[i].cum = acc;
@@ -57,8 +69,10 @@ ArrivalLog::timeOfCumulative(std::uint64_t amount) const
     if (amount > _total)
         return std::nullopt;
     refreshPrefix();
+    const std::uint64_t target = _consumedTotal + amount;
     auto pos = std::lower_bound(
-        _entries.begin(), _entries.end(), amount,
+        _entries.begin() + static_cast<long>(_head), _entries.end(),
+        target,
         [](const Entry &e, std::uint64_t a) { return e.cum < a; });
     T3D_ASSERT(pos != _entries.end(), "prefix sum inconsistent");
     return pos->when;
@@ -67,13 +81,13 @@ ArrivalLog::timeOfCumulative(std::uint64_t amount) const
 std::uint64_t
 ArrivalLog::arrivedBy(Cycles when) const
 {
-    if (_entries.empty() || _entries.front().when > when)
+    if (_head == _entries.size() || _entries[_head].when > when)
         return 0;
     refreshPrefix();
     auto pos = std::upper_bound(
-        _entries.begin(), _entries.end(), when,
-        [](Cycles t, const Entry &e) { return t < e.when; });
-    return (pos - 1)->cum;
+        _entries.begin() + static_cast<long>(_head), _entries.end(),
+        when, [](Cycles t, const Entry &e) { return t < e.when; });
+    return (pos - 1)->cum - _consumedTotal;
 }
 
 void
@@ -81,22 +95,35 @@ ArrivalLog::consume(std::uint64_t amount)
 {
     T3D_ASSERT(amount <= _total, "consuming more than arrived");
     _total -= amount;
-    std::size_t drop = 0;
+    _consumedTotal += amount;
     while (amount > 0) {
-        T3D_ASSERT(drop < _entries.size(), "arrival log underflow");
-        Entry &front = _entries[drop];
-        if (front.amount > amount) {
-            front.amount -= amount;
+        T3D_ASSERT(_head < _entries.size(), "arrival log underflow");
+        const std::uint64_t avail =
+            _entries[_head].amount - _headConsumed;
+        if (avail > amount) {
+            _headConsumed += amount;
             amount = 0;
         } else {
-            amount -= front.amount;
-            ++drop;
+            amount -= avail;
+            _headConsumed = 0;
+            ++_head;
         }
     }
-    if (drop > 0)
-        _entries.erase(_entries.begin(),
-                       _entries.begin() + static_cast<long>(drop));
-    // Entries shifted and/or the front shrank: rebuild on next query.
+    if (_head > 64 && _head * 2 > _entries.size())
+        compact();
+}
+
+void
+ArrivalLog::compact()
+{
+    // The dropped entries are fully consumed, so their amounts are
+    // exactly the consumed total minus the partial head consumption;
+    // fold them into the prefix-rebuild base so absolute cums stay
+    // continuous across the compaction.
+    _cumBase = _consumedTotal - _headConsumed;
+    _entries.erase(_entries.begin(),
+                   _entries.begin() + static_cast<long>(_head));
+    _head = 0;
     _prefixValid = 0;
 }
 
@@ -104,6 +131,10 @@ void
 ArrivalLog::reset()
 {
     _entries.clear();
+    _head = 0;
+    _headConsumed = 0;
+    _consumedTotal = 0;
+    _cumBase = 0;
     _prefixValid = 0;
     _total = 0;
 }

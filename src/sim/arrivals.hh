@@ -8,14 +8,22 @@
  * "at what time had at least N units arrived?", which is exactly the
  * semantics needed by Split-C's store_sync and by message polling.
  *
- * Host-performance notes: entries carry a lazily-maintained prefix
- * sum of the amounts, so both queries are binary searches instead of
- * linear scans — store_sync waiters on a node that receives thousands
- * of store lines pay O(log n) per poll. record() additionally fires
- * an optional listener so the SPMD executor can wake parked waiters
- * event-driven instead of polling every log each scheduling step.
- * Neither structure affects the recorded times: simulated timing is
- * byte-identical to the naive implementation.
+ * Host-performance notes: entries carry a lazily-maintained
+ * *absolute* prefix sum of the amounts (monotone over the whole
+ * recorded history), so both queries are O(log n) binary searches
+ * over an implicit balanced aggregation tree instead of linear
+ * scans — store_sync waiters on a node that receives thousands of
+ * store lines pay O(log n) per poll. Consumption advances a head
+ * cursor (plus a partial-consumption offset into the head entry)
+ * instead of erasing entries, so consume() is amortized O(1) and —
+ * because the absolute prefix of later entries is unaffected — never
+ * invalidates the prefix sums; the fully-consumed prefix is
+ * physically compacted only when it exceeds half the log. record()
+ * additionally fires an optional listener so the SPMD executor can
+ * wake parked waiters event-driven instead of polling every log each
+ * scheduling step. Neither structure affects the recorded times:
+ * simulated timing is byte-identical to the naive implementation
+ * (pinned by tests/sim/arrivals_test.cc's reference-model fuzz).
  */
 
 #ifndef T3DSIM_SIM_ARRIVALS_HH
@@ -38,7 +46,7 @@ class ArrivalLog
     /** Record @p amount units arriving at time @p when. */
     void record(Cycles when, std::uint64_t amount);
 
-    /** Total units recorded since the last reset. */
+    /** Total unconsumed units recorded since the last reset. */
     std::uint64_t totalArrived() const { return _total; }
 
     /**
@@ -47,7 +55,7 @@ class ArrivalLog
      */
     std::optional<Cycles> timeOfCumulative(std::uint64_t amount) const;
 
-    /** Units that had arrived by time @p when (inclusive). */
+    /** Unconsumed units that had arrived by time @p when (inclusive). */
     std::uint64_t arrivedBy(Cycles when) const;
 
     /**
@@ -58,6 +66,13 @@ class ArrivalLog
 
     /** Drop everything (the listener survives). */
     void reset();
+
+    /** Host bytes resident for this log. */
+    std::size_t
+    residentBytes() const
+    {
+        return sizeof(ArrivalLog) + _entries.capacity() * sizeof(Entry);
+    }
 
     /**
      * Install a host-side hook fired after every successful
@@ -80,7 +95,8 @@ class ArrivalLog
         std::uint64_t amount;
 
         /**
-         * Cumulative unconsumed amount through this entry. Only
+         * Absolute cumulative amount through this entry, counting
+         * consumed units (queries subtract _consumedTotal). Only
          * entries below _prefixValid hold a current value; the rest
          * are filled in by refreshPrefix() on demand.
          */
@@ -90,8 +106,23 @@ class ArrivalLog
     /** Extend the valid prefix-sum range to the full log. */
     void refreshPrefix() const;
 
-    /** Kept sorted by time; record() inserts in order. */
+    /** Physically drop the fully-consumed prefix when it dominates. */
+    void compact();
+
+    /** Kept sorted by time; record() inserts in order.
+     *  [ _head, size() ) is the live (not fully consumed) range. */
     mutable std::vector<Entry> _entries;
+    std::size_t _head = 0;
+
+    /** Units consumed from _entries[_head] (partial consumption). */
+    std::uint64_t _headConsumed = 0;
+
+    /** Absolute units consumed since the last reset/compaction era. */
+    std::uint64_t _consumedTotal = 0;
+
+    /** Absolute cum of everything compacted away (prefix rebuild base). */
+    std::uint64_t _cumBase = 0;
+
     mutable std::size_t _prefixValid = 0;
     std::uint64_t _total = 0;
     std::function<void()> _onRecord;

@@ -88,6 +88,7 @@ void
 Scheduler::parkBarrier(PeId pe)
 {
     _slots[pe].state = ProcState::BarrierWait;
+    _barrierWaiters.push_back(pe);
 }
 
 void
@@ -141,20 +142,26 @@ Scheduler::amFlowVisible(PeId pe)
 }
 
 void
+Scheduler::wakeBarrierWaiter(PeId pe, Cycles exit)
+{
+    Slot &slot = _slots[pe];
+    T3D_ASSERT(slot.state == ProcState::BarrierWait,
+               "barrier waiter list holds non-waiting PE ", pe);
+    Proc &proc = *slot.proc;
+    proc.clock().syncTo(exit);
+    proc.node().core().charge(_config.endBarrierCycles);
+    proc.clearBarrierWait();
+    proc.noteBarrierComplete();
+    slot.state = ProcState::Ready;
+    markReady(pe);
+}
+
+void
 Scheduler::completeBarrier(Cycles exit)
 {
-    for (PeId pe = 0; pe < _slots.size(); ++pe) {
-        Slot &slot = _slots[pe];
-        if (slot.state != ProcState::BarrierWait)
-            continue;
-        Proc &proc = *slot.proc;
-        proc.clock().syncTo(exit);
-        proc.node().core().charge(_config.endBarrierCycles);
-        proc.clearBarrierWait();
-        proc.noteBarrierComplete();
-        slot.state = ProcState::Ready;
-        markReady(pe);
-    }
+    for (PeId pe : _barrierWaiters)
+        wakeBarrierWaiter(pe, exit);
+    _barrierWaiters.clear();
     _machine.barrier().resetGeneration();
 }
 

@@ -185,13 +185,27 @@ class Scheduler
 
     /** @name Called by awaitables / Proc (internal) */
     /// @{
-    void parkBarrier(PeId pe);
+    /**
+     * Park @p pe in BarrierWait and remember it on the waiter list,
+     * so completing the generation wakes exactly the parked PEs
+     * instead of scanning all P slots. The parallel scheduler
+     * overrides this with per-shard lists (parks happen on worker
+     * threads).
+     */
+    virtual void parkBarrier(PeId pe);
+
     void parkStoreWait(PeId pe, std::uint64_t target_cumulative,
                        bool am_log);
     void parkMessageWait(PeId pe);
 
-    /** Wake all barrier waiters at @p exit (last arriver calls). */
-    void completeBarrier(Cycles exit);
+    /**
+     * Wake all barrier waiters at @p exit (last arriver calls).
+     * O(waiters), not O(P): drains the waiter list(s) built by
+     * parkBarrier. Wake order cannot affect scheduling order — the
+     * ready heap totally orders by (clock, pe) — so the list order
+     * is as deterministic as the old PE-order scan.
+     */
+    virtual void completeBarrier(Cycles exit);
 
     /**
      * PE @p pe arrived at the barrier at time @p when. The sequential
@@ -317,6 +331,9 @@ class Scheduler
      *  end-of-run flush. The base implementation is sequential. */
     virtual void mainLoop();
 
+    /** Sync, charge, and requeue one parked barrier waiter. */
+    void wakeBarrierWaiter(PeId pe, Cycles exit);
+
     [[noreturn]] void panicDeadlock(std::size_t done) const;
 
     machine::Machine &_machine;
@@ -344,6 +361,9 @@ class Scheduler
 
     /** PEs with a queued wake check (FIFO). */
     std::vector<PeId> _pendingWakeups;
+
+    /** PEs parked in BarrierWait this generation (sequential path). */
+    std::vector<PeId> _barrierWaiters;
 
     /** PEs whose coroutine has completed. */
     std::size_t _done = 0;

@@ -109,6 +109,39 @@ ParallelScheduler::queueWakeupCheck(PeId pe)
 }
 
 void
+ParallelScheduler::parkBarrier(PeId pe)
+{
+    // Parks happen on the owning shard's worker thread (during a
+    // resume), so the waiter list must be per-shard: two shards can
+    // park PEs concurrently inside the same window.
+    _slots[pe].state = ProcState::BarrierWait;
+    Shard *shard = tlsShard;
+    if (shard)
+        shard->barrierWaiters.push_back(pe);
+    else
+        _barrierWaiters.push_back(pe);
+}
+
+void
+ParallelScheduler::completeBarrier(Cycles exit)
+{
+    // Only reached with exclusive access — serially at the window
+    // merge, or on a granted worker while every other shard is
+    // parked — so draining the other shards' lists (and pushing
+    // woken PEs onto their heaps) is safe; the park/dispatch mutex
+    // handshakes order the accesses.
+    for (PeId pe : _barrierWaiters)
+        wakeBarrierWaiter(pe, exit);
+    _barrierWaiters.clear();
+    for (auto &shard : _shards) {
+        for (PeId pe : shard->barrierWaiters)
+            wakeBarrierWaiter(pe, exit);
+        shard->barrierWaiters.clear();
+    }
+    _machine.barrier().resetGeneration();
+}
+
+void
 ParallelScheduler::barrierArrive(PeId pe, Cycles when)
 {
     // The barrier network is shared machine state read by every

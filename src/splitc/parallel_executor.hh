@@ -84,6 +84,8 @@ class ParallelScheduler final : public Scheduler,
 
     /** @name Scheduler seams (see executor.hh) */
     /// @{
+    void parkBarrier(PeId pe) override;
+    void completeBarrier(Cycles exit) override;
     void barrierArrive(PeId pe, Cycles when) override;
     void recordStoreArrival(PeId dst, Cycles when,
                             std::uint64_t bytes) override;
@@ -194,6 +196,10 @@ class ParallelScheduler final : public Scheduler,
         /// @{
         std::vector<ReadyRef> heap;
         std::vector<PeId> localWakes;
+        /** This shard's PEs parked in BarrierWait this generation.
+         *  Drained by completeBarrier, which only runs with every
+         *  other shard parked (merge or grant). */
+        std::vector<PeId> barrierWaiters;
         std::vector<DeferredOp> outbox;
         std::size_t outboxCursor = 0;
         std::uint64_t seq = 0;

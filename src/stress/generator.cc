@@ -55,24 +55,26 @@ bankBytes(const StressConfig &cfg)
 
 /** Address of word @p word of data bank @p bank. */
 Addr
-dataWordAddr(const StressConfig &cfg, int bank, std::uint32_t word)
+dataWordAddr(const StressConfig &cfg, const Layout &lay, int bank,
+             std::uint32_t word)
 {
-    return kDataBase + Addr(bank) * bankBytes(cfg) + Addr(word) * 8;
+    return lay.dataBase + Addr(bank) * bankBytes(cfg) + Addr(word) * 8;
 }
 
 /** Address of write slot @p slot of @p writer's stripe in @p bank. */
 Addr
-stripeSlotAddr(const StressConfig &cfg, int bank, PeId writer,
-               std::uint32_t slot)
+stripeSlotAddr(const StressConfig &cfg, const Layout &lay, int bank,
+               PeId writer, std::uint32_t slot)
 {
-    return dataWordAddr(cfg, bank, writer * kStripeWords + slot);
+    return dataWordAddr(cfg, lay, bank, writer * kStripeWords + slot);
 }
 
 /** Address of @p writer's BLT landing stripe in @p bank. */
 Addr
-bigStripeAddr(const StressConfig &cfg, int bank, PeId writer)
+bigStripeAddr(const StressConfig &cfg, const Layout &lay, int bank,
+              PeId writer)
 {
-    return kBigBase +
+    return lay.bigBase +
            Addr(bank) * cfg.pes * kBigStripeBytes +
            Addr(writer) * kBigStripeBytes;
 }
@@ -80,9 +82,10 @@ bigStripeAddr(const StressConfig &cfg, int bank, PeId writer)
 /** Order-sensitive accumulate into result cell @p cell (untimed:
  *  host bookkeeping folded into the checksummed memory image). */
 void
-accumulate(mem::Storage &storage, std::uint32_t cell, std::uint64_t v)
+accumulate(mem::Storage &storage, const Layout &lay, std::uint32_t cell,
+           std::uint64_t v)
 {
-    const Addr a = kAccumBase + Addr(cell) * 8;
+    const Addr a = lay.accumBase + Addr(cell) * 8;
     storage.writeU64(a, storage.readU64(a) * 1099511628211ull ^ v);
 }
 
@@ -90,14 +93,37 @@ accumulate(mem::Storage &storage, std::uint32_t cell, std::uint64_t v)
  *  timing-tied (two messages landing on the same cycle drain in
  *  delivery order, which the schedulers canonicalize differently). */
 void
-accumulateCommutative(mem::Storage &storage, std::uint32_t cell,
-                      std::uint64_t v)
+accumulateCommutative(mem::Storage &storage, const Layout &lay,
+                      std::uint32_t cell, std::uint64_t v)
 {
-    const Addr a = kAccumBase + Addr(cell) * 8;
+    const Addr a = lay.accumBase + Addr(cell) * 8;
     storage.writeU64(a, storage.readU64(a) + v * 0x9e3779b97f4a7c15ull);
 }
 
 } // namespace
+
+Layout
+Layout::of(const StressConfig &cfg)
+{
+    const auto align = [](Addr a) {
+        return (a + Addr{0xFFF}) & ~Addr{0xFFF};
+    };
+    Layout lay;
+    lay.dataBase = kDataBase;
+    Addr end = lay.dataBase + 2 * bankBytes(cfg);
+    lay.bigBase = std::max(kBigBase, align(end));
+    end = lay.bigBase + 2 * Addr{cfg.pes} * kBigStripeBytes;
+    lay.constBase = std::max(kConstBase, align(end));
+    end = lay.constBase + Addr{kConstWords} * 8;
+    lay.scratchBase = std::max(kScratchBase, align(end));
+    end = lay.scratchBase + Addr{cfg.opsPerRound} * kScratchSlotBytes;
+    lay.bltScratch = std::max(kBltScratch, align(end));
+    end = lay.bltScratch + kBigStripeBytes;
+    lay.accumBase = std::max(kAccumBase, align(end));
+    end = lay.accumBase + Addr{kAccumCells} * 8;
+    lay.swapBase = std::max(kSwapBase, align(end));
+    return lay;
+}
 
 const char *
 opKindName(OpKind kind)
@@ -124,13 +150,16 @@ Plan
 Plan::build(const StressConfig &raw)
 {
     StressConfig cfg = raw;
-    cfg.pes = std::clamp<std::uint32_t>(cfg.pes, 2, 32);
+    // 8192 PEs keeps the per-PE BLT landing region (2 * pes * 4 KiB)
+    // plus everything below it inside the 128 MiB local segment.
+    cfg.pes = std::clamp<std::uint32_t>(cfg.pes, 2, 8192);
     cfg.rounds = std::max<std::uint32_t>(cfg.rounds, 1);
     cfg.opsPerRound =
         std::clamp<std::uint32_t>(cfg.opsPerRound, 1, kStripeWords);
 
     Plan plan;
     plan.cfg = cfg;
+    plan.layout = Layout::of(cfg);
     Rng rng{cfg.seed * 0x243f6a8885a308d3ull + 1};
 
     const std::uint32_t bank_words = cfg.pes * kStripeWords;
@@ -288,6 +317,7 @@ runPlan(machine::Machine &machine, const Plan &plan,
     using splitc::ProcTask;
 
     const StressConfig &cfg = plan.cfg;
+    const Layout &lay = plan.layout;
     T3D_FATAL_IF(machine.numPes() != cfg.pes,
                  "machine has ", machine.numPes(),
                  " PEs but the plan wants ", cfg.pes);
@@ -308,13 +338,13 @@ runPlan(machine::Machine &machine, const Plan &plan,
             // identical cost in both schedulers: none).
             Rng init{cfg.seed ^ (0x9e3779b97f4a7c15ull * (me + 1))};
             for (std::uint32_t w = 0; w < kConstWords; ++w)
-                storage.writeU64(kConstBase + Addr(w) * 8, init.next());
+                storage.writeU64(lay.constBase + Addr(w) * 8, init.next());
 
             p.registerAmHandler(
                 kAmTag,
-                [&am_handled](Proc &self,
+                [&am_handled, &lay](Proc &self,
                               const std::array<std::uint64_t, 4> &a) {
-                    accumulate(self.node().storage(), 4,
+                    accumulate(self.node().storage(), lay, 4,
                                a[0] ^ a[1] * 31 ^ a[2] * 7 ^ a[3]);
                     ++am_handled[self.pe()];
                 });
@@ -329,61 +359,61 @@ runPlan(machine::Machine &machine, const Plan &plan,
                 for (const Op &op : round.ops[me]) {
                     switch (op.kind) {
                     case OpKind::RemoteRead:
-                        accumulate(storage, 0,
+                        accumulate(storage, lay, 0,
                                    p.readU64(GlobalAddr::make(
                                        op.target,
-                                       dataWordAddr(cfg, prev,
+                                       dataWordAddr(cfg, lay, prev,
                                                     op.word))));
                         break;
                     case OpKind::RemoteWrite:
                         p.writeU64(GlobalAddr::make(
                                        op.target,
-                                       stripeSlotAddr(cfg, bank, me,
+                                       stripeSlotAddr(cfg, lay, bank, me,
                                                       op.slot)),
                                    op.value);
                         break;
                     case OpKind::Put:
                         p.putU64(GlobalAddr::make(
                                      op.target,
-                                     stripeSlotAddr(cfg, bank, me,
+                                     stripeSlotAddr(cfg, lay, bank, me,
                                                     op.slot)),
                                  op.value);
                         break;
                     case OpKind::Get:
                         p.getU64(GlobalAddr::make(
                                      op.target,
-                                     dataWordAddr(cfg, prev, op.word)),
-                                 kScratchBase +
+                                     dataWordAddr(cfg, lay, prev, op.word)),
+                                 lay.scratchBase +
                                      Addr(op.slot) * kScratchSlotBytes);
                         break;
                     case OpKind::SignalStore:
                         p.storeU64(GlobalAddr::make(
                                        op.target,
-                                       stripeSlotAddr(cfg, bank, me,
+                                       stripeSlotAddr(cfg, lay, bank, me,
                                                       op.slot)),
                                    op.value);
                         break;
                     case OpKind::Prefetch:
                         p.bulkReadPrefetch(
-                            kScratchBase +
+                            lay.scratchBase +
                                 Addr(op.slot) * kScratchSlotBytes,
                             GlobalAddr::make(
                                 op.target,
-                                dataWordAddr(cfg, prev, op.word)),
+                                dataWordAddr(cfg, lay, prev, op.word)),
                             std::size_t{op.len} * 8);
                         break;
                     case OpKind::BltGet:
-                        p.bulkReadBlt(kBltScratch,
+                        p.bulkReadBlt(lay.bltScratch,
                                       GlobalAddr::make(op.target,
-                                                       kConstBase),
+                                                       lay.constBase),
                                       kBigStripeBytes);
                         break;
                     case OpKind::BltPut:
                         p.bulkWriteBlt(
                             GlobalAddr::make(
                                 op.target,
-                                bigStripeAddr(cfg, bank, me)),
-                            kConstBase, kBigStripeBytes);
+                                bigStripeAddr(cfg, lay, bank, me)),
+                            lay.constBase, kBigStripeBytes);
                         break;
                     case OpKind::FetchInc:
                         // The returned count depends on how the
@@ -393,15 +423,15 @@ runPlan(machine::Machine &machine, const Plan &plan,
                         // — so exercise the round trip without
                         // folding the value.
                         (void)p.fetchInc(op.target, 1);
-                        accumulate(storage, 1, 1);
+                        accumulate(storage, lay, 1, 1);
                         break;
                     case OpKind::Swap:
                         accumulate(
-                            storage, 2,
+                            storage, lay, 2,
                             p.atomicSwap(
                                 GlobalAddr::make(
                                     op.target,
-                                    kSwapBase + Addr(op.word) * 8),
+                                    lay.swapBase + Addr(op.word) * 8),
                                 op.value));
                         break;
                     case OpKind::AmDeposit:
@@ -427,7 +457,7 @@ runPlan(machine::Machine &machine, const Plan &plan,
                     co_await p.waitMessage();
                     const auto msg = p.takeMessage(false);
                     accumulateCommutative(
-                        storage, 3,
+                        storage, lay, 3,
                         msg.words[0] ^ msg.words[1] * 31 ^
                             msg.words[2] * 7 ^ msg.words[3]);
                 }
@@ -444,32 +474,75 @@ runPlan(machine::Machine &machine, const Plan &plan,
         splitc_cfg);
 }
 
+namespace
+{
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/**
+ * Fold @p n zero bytes into an FNV-1a state: XOR with zero is the
+ * identity, so each byte contributes only the prime multiply —
+ * h * prime^n, computed by square-and-multiply. Lets the checksum
+ * skip absent storage chunks (which read back as zero) in O(log n)
+ * instead of materializing or scanning them, while producing exactly
+ * the value a byte-by-byte fold over zeros would.
+ */
+std::uint64_t
+fnvFoldZeros(std::uint64_t h, std::uint64_t n)
+{
+    std::uint64_t p = kFnvPrime;
+    while (n) {
+        if (n & 1)
+            h *= p;
+        p *= p;
+        n >>= 1;
+    }
+    return h;
+}
+
+} // namespace
+
 std::uint64_t
 memoryChecksum(machine::Machine &machine, const Plan &plan)
 {
     const StressConfig &cfg = plan.cfg;
+    const Layout &lay = plan.layout;
     std::uint64_t h = 14695981039346656037ull;
-    std::vector<std::uint8_t> buf;
 
+    // Chunk-at-a-time sparse fold: present chunks hash their bytes,
+    // absent chunks fast-forward as runs of zeros. Large-P regions
+    // (the BLT landing banks are 2 * pes * 4 KiB) are mostly
+    // untouched, and this keeps the checksum from materializing them.
     const auto fold = [&](mem::Storage &storage, Addr base,
                           std::size_t len) {
-        buf.resize(len);
-        storage.readBlockConcurrent(base, buf.data(), len);
-        for (std::uint8_t b : buf) {
-            h ^= b;
-            h *= 1099511628211ull;
+        Addr a = base;
+        std::size_t remaining = len;
+        while (remaining > 0) {
+            std::size_t span = 0;
+            const std::uint8_t *p =
+                storage.peekSpanConcurrent(a, remaining, span);
+            if (p) {
+                for (std::size_t i = 0; i < span; ++i) {
+                    h ^= p[i];
+                    h *= kFnvPrime;
+                }
+            } else {
+                h = fnvFoldZeros(h, span);
+            }
+            a += span;
+            remaining -= span;
         }
     };
 
     for (PeId pe = 0; pe < cfg.pes; ++pe) {
         auto &storage = machine.node(pe).storage();
-        fold(storage, kDataBase, 2 * bankBytes(cfg));
-        fold(storage, kBigBase, 2 * cfg.pes * kBigStripeBytes);
-        fold(storage, kScratchBase,
+        fold(storage, lay.dataBase, 2 * bankBytes(cfg));
+        fold(storage, lay.bigBase, 2 * cfg.pes * kBigStripeBytes);
+        fold(storage, lay.scratchBase,
              std::size_t{cfg.opsPerRound} * kScratchSlotBytes);
-        fold(storage, kBltScratch, kBigStripeBytes);
-        fold(storage, kAccumBase, kAccumCells * 8);
-        fold(storage, kSwapBase, std::size_t{cfg.pes} * 8);
+        fold(storage, lay.bltScratch, kBigStripeBytes);
+        fold(storage, lay.accumBase, kAccumCells * 8);
+        fold(storage, lay.swapBase, std::size_t{cfg.pes} * 8);
     }
     return h;
 }

@@ -73,7 +73,7 @@ namespace t3dsim::stress
 struct StressConfig
 {
     std::uint64_t seed = 1;
-    std::uint32_t pes = 8;      ///< 2..32
+    std::uint32_t pes = 8;      ///< 2..8192 (t3d-fuzz --pes)
     std::uint32_t rounds = 4;   ///< >= 1
     std::uint32_t opsPerRound = 12; ///< per PE; 1..kStripeWords
 
@@ -165,10 +165,36 @@ constexpr std::uint32_t kAccumCells = 5;
 constexpr Addr kSwapBase = 0x151000;
 /// @}
 
+/**
+ * Resolved region bases for one plan. Region sizes grow with the PE
+ * count (data banks, BLT stripes and swap cells are per-PE), so at
+ * large P the fixed bases above would overlap. Each base resolves to
+ * max(fixed constant, 4 KiB-aligned end of the previous region):
+ * at the historical config ceiling (pes <= 32) every base equals its
+ * constant, so existing small-P seeds keep their exact layout and
+ * timing, while large-P configs (t3d-fuzz --pes, up to 8192) spread
+ * out without collisions. The final region must stay inside the
+ * 128 MiB local segment; Plan::build's pes clamp guarantees it.
+ */
+struct Layout
+{
+    Addr dataBase = kDataBase;
+    Addr bigBase = kBigBase;
+    Addr constBase = kConstBase;
+    Addr scratchBase = kScratchBase;
+    Addr bltScratch = kBltScratch;
+    Addr accumBase = kAccumBase;
+    Addr swapBase = kSwapBase;
+
+    /** Resolve the layout for a (clamped) config. */
+    static Layout of(const StressConfig &cfg);
+};
+
 /** A full deterministic program: config + per-round schedules. */
 struct Plan
 {
     StressConfig cfg;
+    Layout layout;
     std::vector<RoundPlan> rounds;
 
     /** Build the plan for @p cfg (pure function of the seed). */

@@ -149,4 +149,43 @@ TEST(Cache, RejectsNonPowerOfTwo)
     detail::setThrowOnError(false);
 }
 
+/**
+ * Flyweight property: tag+data sectors materialize on first fill,
+ * never on probes, so an untouched cache model costs one pointer
+ * array. 8 KiB / 32 B = 256 lines = 4 sectors of 64 lines.
+ */
+TEST(Cache, SectorsMaterializeLazily)
+{
+    DirectMappedCache c(8 * KiB, 32);
+    EXPECT_EQ(c.sectorsAllocated(), 0u);
+    const std::size_t empty_bytes = c.residentBytes();
+
+    // Probes and misses allocate nothing.
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.probe(0x1f00));
+    std::uint32_t v = 1;
+    EXPECT_FALSE(c.updateIfPresent(0x100, &v, 4));
+    c.invalidate(0x100);
+    EXPECT_EQ(c.sectorsAllocated(), 0u);
+
+    // First fill materializes exactly the containing sector.
+    auto line = patternLine(5);
+    c.fill(0x100, line.data()); // line 8 -> sector 0
+    EXPECT_EQ(c.sectorsAllocated(), 1u);
+    c.fill(0x200, line.data()); // line 16 -> still sector 0
+    EXPECT_EQ(c.sectorsAllocated(), 1u);
+    c.fill(0x800, line.data()); // line 64 -> sector 1
+    EXPECT_EQ(c.sectorsAllocated(), 2u);
+    EXPECT_GT(c.residentBytes(), empty_bytes);
+
+    // Invalidation clears tags but keeps the allocation (the model
+    // stays warm; only construction-time laziness matters).
+    c.invalidateAll();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_EQ(c.sectorsAllocated(), 2u);
+    EXPECT_TRUE(c.updateIfPresent(0x100, &v, 4) == false);
+    c.fill(0x100, line.data());
+    EXPECT_TRUE(c.probe(0x100));
+}
+
 } // namespace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flyweight-footprint bounds: a freshly constructed machine must
+ * cost O(1) bytes per PE (no eager cache tags, TLB pages, storage
+ * chunks or counter blocks), and a real workload at large P must
+ * stay within the sparse-chunk budget. These pin the tentpole
+ * property that makes 4K-64K-PE tori routine: construction and
+ * per-PE cost scale with *touched* state, not with configured
+ * capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "em3d/em3d.hh"
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using machine::Machine;
+using machine::MachineConfig;
+
+TEST(Flyweight, BareMachineBytesPerPe)
+{
+    // Pre-flyweight, a bare node cost ~69 KB (eager 8 KB D-cache
+    // tags+data, full TLB arrays, counter blocks, slot directories).
+    // The flyweight model keeps an untouched node to a few KB.
+    Machine m(MachineConfig::t3d(4096));
+    const std::size_t per_pe = m.residentModelBytes() / 4096;
+    EXPECT_LT(per_pe, 5 * KiB) << "untouched PE grew past the budget";
+}
+
+TEST(Flyweight, BareMachineScalesSublinearlyInTouchedState)
+{
+    // Doubling P must roughly double total bytes (per-PE cost flat,
+    // no O(P) or O(P log P) per-node structures creeping in).
+    Machine small(MachineConfig::t3d(1024));
+    Machine big(MachineConfig::t3d(4096));
+    const std::size_t small_per_pe = small.residentModelBytes() / 1024;
+    const std::size_t big_per_pe = big.residentModelBytes() / 4096;
+    EXPECT_LT(big_per_pe, small_per_pe + small_per_pe / 2)
+        << "per-PE cost must not grow materially with P";
+}
+
+TEST(Flyweight, Em3dAt4kPesStaysWithinChunkBudget)
+{
+    // A tiny EM3D problem at 4K PEs: each node touches its graph
+    // arrays, a few ghost lines and its stack. With 4 KiB chunks
+    // (resolvedStorageChunkShift at P >= fineChunkPes) the modeled
+    // footprint must stay well under the old eager ~69 KB/PE.
+    ASSERT_GE(4096u, MachineConfig::fineChunkPes);
+    em3d::Config cfg;
+    cfg.nodesPerPe = 2;
+    cfg.degree = 1;
+    cfg.remoteFraction = 0.5;
+    cfg.iterations = 1;
+    const auto r = em3d::run(cfg, em3d::Version::Get, 4096);
+    ASSERT_GT(r.modeledBytes, 0u);
+    const std::size_t per_pe = r.modeledBytes / 4096;
+    EXPECT_LT(per_pe, 16 * KiB)
+        << "EM3D-loaded PE footprint exceeded the sparse-chunk budget";
+}
+
+} // namespace

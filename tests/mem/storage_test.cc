@@ -108,4 +108,77 @@ TEST(Storage, Limit)
     EXPECT_EQ(s.limit(), 4096u);
 }
 
+TEST(Storage, CustomChunkShift)
+{
+    Storage s(Addr{1} << 27, 12);
+    EXPECT_EQ(s.chunkSize(), 4096u);
+    s.writeU8(0, 1);
+    s.writeU8(4095, 2);
+    EXPECT_EQ(s.chunksAllocated(), 1u);
+    s.writeU8(4096, 3);
+    EXPECT_EQ(s.chunksAllocated(), 2u);
+    EXPECT_EQ(s.readU8(0), 1u);
+    EXPECT_EQ(s.readU8(4095), 2u);
+    EXPECT_EQ(s.readU8(4096), 3u);
+}
+
+TEST(Storage, ChunkShiftClampedToSupportedRange)
+{
+    Storage tiny(1 * t3dsim::MiB, 1);
+    EXPECT_EQ(tiny.chunkSize(), std::size_t{1} << Storage::minChunkShift);
+    Storage huge(64 * t3dsim::MiB, 40);
+    EXPECT_EQ(huge.chunkSize(), std::size_t{1} << Storage::maxChunkShift);
+}
+
+TEST(Storage, GroupsMaterializeLazily)
+{
+    Storage s;
+    EXPECT_EQ(s.groupsAllocated(), 0u);
+    const std::size_t empty_bytes = s.residentBytes();
+
+    // Reads never materialize a group.
+    EXPECT_EQ(s.readU64(0), 0u);
+    EXPECT_EQ(s.groupsAllocated(), 0u);
+
+    // Two chunks in the same group: one group allocation.
+    s.writeU8(0, 1);
+    s.writeU8(Storage::chunkBytes, 2);
+    EXPECT_EQ(s.groupsAllocated(), 1u);
+    EXPECT_EQ(s.chunksAllocated(), 2u);
+
+    // A chunk in a different group's range adds a second group.
+    s.writeU8(Storage::groupSlots * Storage::chunkBytes, 3);
+    EXPECT_EQ(s.groupsAllocated(), 2u);
+    EXPECT_GT(s.residentBytes(), empty_bytes);
+}
+
+TEST(Storage, PeekSpanConcurrent)
+{
+    Storage s;
+    std::size_t span = 0;
+
+    // Untouched chunk: null pointer, span still clamped to the
+    // chunk boundary (the caller fast-forwards that many zeros).
+    EXPECT_EQ(s.peekSpanConcurrent(0, 128, span), nullptr);
+    EXPECT_EQ(span, 128u);
+    EXPECT_EQ(s.peekSpanConcurrent(Storage::chunkBytes - 16, 4096, span),
+              nullptr);
+    EXPECT_EQ(span, 16u) << "span never crosses a chunk boundary";
+    EXPECT_EQ(s.chunksAllocated(), 0u) << "peek must not materialize";
+
+    // Present chunk: direct pointer to the backing bytes.
+    s.writeU64(32, 0x1122334455667788ull);
+    const std::uint8_t *p = s.peekSpanConcurrent(32, 8, span);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(span, 8u);
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    EXPECT_EQ(v, 0x1122334455667788ull);
+
+    // Span from mid-chunk runs to the chunk end, capped by max_len.
+    p = s.peekSpanConcurrent(Storage::chunkBytes - 8, 4096, span);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(span, 8u);
+}
+
 } // namespace

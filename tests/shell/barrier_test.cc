@@ -3,6 +3,10 @@
  * Unit tests for the hardware barrier network (§7.5).
  */
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "shell/barrier.hh"
@@ -82,6 +86,104 @@ TEST(Barrier, ExitBeforeCompletePanics)
     BarrierNetwork b(2, 10);
     EXPECT_THROW(b.exitTime(), std::logic_error);
     detail::setThrowOnError(false);
+}
+
+// ---------------------------------------------------------------------
+// Radix-tree equivalence against the flat reference implementation
+// ---------------------------------------------------------------------
+
+/**
+ * The pre-tree flat implementation: a presence vector, a running
+ * count and a running max clamped through the previous generation's
+ * exit. The radix tree must reproduce its exit times bit-for-bit.
+ */
+struct FlatBarrier
+{
+    std::uint32_t pes;
+    Cycles latency;
+    std::vector<char> present;
+    std::uint32_t count = 0;
+    Cycles maxArrival = 0;
+    Cycles lastExit = 0;
+
+    FlatBarrier(std::uint32_t pes_, Cycles latency_)
+        : pes(pes_), latency(latency_), present(pes_, 0)
+    {
+    }
+
+    std::optional<Cycles>
+    arrive(PeId pe, Cycles when)
+    {
+        present[pe] = 1;
+        ++count;
+        maxArrival = std::max({maxArrival, when, lastExit});
+        if (count == pes)
+            return maxArrival + latency;
+        return std::nullopt;
+    }
+
+    void
+    reset()
+    {
+        lastExit = maxArrival + latency;
+        std::fill(present.begin(), present.end(), 0);
+        count = 0;
+        maxArrival = 0;
+    }
+};
+
+TEST(Barrier, RadixTreeMatchesFlatReference)
+{
+    std::mt19937_64 rng(0x7e57ba221e5ull);
+    // Power-of-two PE counts, the radix boundary (63/64/65), and
+    // non-power-of-two counts with partial leaf groups and partial
+    // tree levels.
+    for (std::uint32_t pes :
+         {1u, 2u, 5u, 63u, 64u, 65u, 100u, 1000u, 4096u, 4097u}) {
+        BarrierNetwork tree(pes, 40);
+        FlatBarrier flat(pes, 40);
+
+        std::vector<PeId> order(pes);
+        for (PeId pe = 0; pe < pes; ++pe)
+            order[pe] = pe;
+
+        Cycles base = 0;
+        for (int gen = 0; gen < 6; ++gen) {
+            std::shuffle(order.begin(), order.end(), rng);
+            std::optional<Cycles> tree_exit, flat_exit;
+            for (std::uint32_t i = 0; i < pes; ++i) {
+                // Mostly fresh timestamps, with a sprinkling of
+                // stale ones from before the previous exit (a PE
+                // that reached start-barrier long ago) to exercise
+                // the per-arrival clamp.
+                Cycles when = base + rng() % 10000;
+                if (gen > 0 && rng() % 4 == 0)
+                    when = rng() % (tree.lastExitTime() + 1);
+                tree_exit = tree.arrive(order[i], when);
+                flat_exit = flat.arrive(order[i], when);
+                ASSERT_EQ(tree_exit.has_value(), flat_exit.has_value())
+                    << pes << " PEs, generation " << gen;
+                EXPECT_EQ(tree.arrivedCount(), i + 1);
+            }
+            ASSERT_TRUE(tree_exit.has_value());
+            EXPECT_EQ(*tree_exit, *flat_exit)
+                << pes << " PEs, generation " << gen;
+            EXPECT_EQ(tree.exitTime(), *flat_exit);
+            tree.resetGeneration();
+            flat.reset();
+            EXPECT_EQ(tree.lastExitTime(), flat.lastExit);
+            base = flat.lastExit;
+        }
+    }
+}
+
+TEST(Barrier, TreeStaysSmallAt64KPes)
+{
+    BarrierNetwork b(65536, 40);
+    // ~1K leaf groups + ~1K+16+1 tree nodes: tens of KB, not O(P)
+    // presence vectors per generation.
+    EXPECT_LT(b.residentBytes(), 64 * KiB);
+    EXPECT_EQ(b.arrivedCount(), 0u);
 }
 
 } // namespace

@@ -371,4 +371,27 @@ TEST(SchedDeterminism, ParallelRunsMatchSeedGoldens)
     EXPECT_EQ(r.elapsed, 40815u);
 }
 
+// Non-power-of-two PE counts leave the barrier radix tree with
+// partial leaf groups and partial upper levels, and leave the
+// parallel scheduler with uneven shards. Hierarchical aggregation
+// must still reproduce the sequential times bit-identically.
+TEST(SchedDeterminism, ParallelNonPowerOfTwoPeCounts)
+{
+    for (std::uint32_t pes : {48u, 100u}) {
+        const auto seq_push =
+            runStorePush(pes, 2, withHostThreads(kSequential));
+        const auto seq_barrier =
+            runSkewedBarrier(pes, withHostThreads(kSequential));
+        ASSERT_EQ(seq_push.size(), pes);
+        for (int threads : kThreadSweep) {
+            EXPECT_EQ(runStorePush(pes, 2, withHostThreads(threads)),
+                      seq_push)
+                << pes << " PEs, " << threads << " host threads";
+            EXPECT_EQ(runSkewedBarrier(pes, withHostThreads(threads)),
+                      seq_barrier)
+                << pes << " PEs, " << threads << " host threads";
+        }
+    }
+}
+
 } // namespace
