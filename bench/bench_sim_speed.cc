@@ -41,6 +41,8 @@
 #include <benchmark/benchmark.h>
 
 #include "alpha/address.hh"
+#include "apps/bsort/bsort.hh"
+#include "apps/qcd/qcd.hh"
 #include "em3d/em3d.hh"
 #include "machine/machine.hh"
 #include "shell/annex.hh"
@@ -315,6 +317,93 @@ runWeakCase(std::uint32_t pes)
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Application-suite throughput (docs/APPS.md)
+// ---------------------------------------------------------------------
+
+/** One app-suite case: the full five-rung ladder of one application
+ *  under the sequential scheduler. The apps stress shell paths the
+ *  EM3D sweep barely touches (all-to-all, dense face exchange), so
+ *  their host throughput is tracked separately. */
+struct AppOutcome
+{
+    const char *app = "";
+    std::uint32_t pes = 0;
+    double hostSeconds = 0;
+    std::uint64_t simCycles = 0;
+    double simPeCyclesPerHostSecond = 0;
+
+    /** Sum of per-variant checksums (identical across variants, so
+     *  this is 5x the app checksum — still a determinism anchor). */
+    std::uint64_t checksum = 0;
+};
+
+/** Measure one ladder with warmup + best-of-three, like runSweep. */
+template <typename LadderFn>
+AppOutcome
+runAppCase(const char *app, std::uint32_t pes, LadderFn &&ladder)
+{
+    AppOutcome out;
+    out.app = app;
+    out.pes = pes;
+    constexpr int timedPasses = 3;
+    for (int pass = -1; pass < timedPasses; ++pass) {
+        std::uint64_t sim_cycles = 0;
+        std::uint64_t checksum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        ladder(sim_cycles, checksum);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double host_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (pass < 0)
+            continue; // warmup
+        if (out.hostSeconds == 0 || host_s < out.hostSeconds)
+            out.hostSeconds = host_s;
+        out.simCycles = sim_cycles;
+        out.checksum = checksum;
+    }
+    out.simPeCyclesPerHostSecond =
+        double(out.simCycles) * pes / out.hostSeconds;
+    return out;
+}
+
+AppOutcome
+runBsortCase(std::uint32_t pes)
+{
+    apps::bsort::Config cfg;
+    cfg.keysPerPe = 256;
+    splitc::SplitcConfig scfg;
+    scfg.hostThreads = -1;
+    return runAppCase(
+        "bsort", pes,
+        [&](std::uint64_t &sim_cycles, std::uint64_t &checksum) {
+            for (apps::Variant v : apps::allVariants) {
+                const auto r = apps::bsort::run(cfg, v, pes, scfg);
+                sim_cycles += r.elapsed;
+                checksum += r.checksum;
+            }
+        });
+}
+
+AppOutcome
+runQcdCase(std::uint32_t pes)
+{
+    apps::qcd::Config cfg;
+    cfg.lx = cfg.ly = cfg.lz = cfg.lt = 2;
+    cfg.sweeps = 1;
+    splitc::SplitcConfig scfg;
+    scfg.hostThreads = -1;
+    return runAppCase(
+        "qcd", pes,
+        [&](std::uint64_t &sim_cycles, std::uint64_t &checksum) {
+            for (apps::Variant v : apps::allVariants) {
+                const auto r = apps::qcd::run(cfg, v, pes, scfg);
+                sim_cycles += r.elapsed;
+                checksum += r.checksum;
+            }
+        });
+}
+
 /** Worker-thread counts to sweep: 1, 2, 4, and the host's core
  *  count, deduplicated and sorted. */
 std::vector<unsigned>
@@ -346,6 +435,7 @@ sweepSkippedReason()
 bool
 writeSweepJson(const std::vector<SweepOutcome> &cases,
                const std::vector<WeakOutcome> &weak,
+               const std::vector<AppOutcome> &app_cases,
                const std::string &skipped_reason,
                const std::string &path)
 {
@@ -398,6 +488,18 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
            << ", \"host_peak_rss_bytes\": " << w.hostPeakRssBytes
            << ", \"checksum\": " << w.checksum << "}"
            << (i + 1 < weak.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"apps\": [\n";
+    for (std::size_t i = 0; i < app_cases.size(); ++i) {
+        const AppOutcome &a = app_cases[i];
+        os << "    {\"app\": \"" << a.app << "\", \"pes\": " << a.pes
+           << ", \"host_seconds\": " << a.hostSeconds
+           << ", \"sim_cycles\": " << a.simCycles
+           << ", \"sim_pe_cycles_per_host_second\": "
+           << a.simPeCyclesPerHostSecond
+           << ", \"checksum\": " << a.checksum << "}"
+           << (i + 1 < app_cases.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     return bool(os);
@@ -494,7 +596,24 @@ main(int argc, char **argv)
         weak.push_back(w);
     }
 
-    if (!writeSweepJson(cases, weak, skipped_reason,
+    std::vector<AppOutcome> app_cases;
+    if (!weak_only) {
+        for (std::uint32_t pes : {32u, 256u}) {
+            app_cases.push_back(runBsortCase(pes));
+            app_cases.push_back(runQcdCase(pes));
+        }
+        for (const AppOutcome &a : app_cases) {
+            std::cout << "app_sweep app=" << a.app
+                      << " pes=" << a.pes
+                      << " host_s=" << a.hostSeconds
+                      << " sim_cycles=" << a.simCycles
+                      << " sim_pe_cycles/s="
+                      << a.simPeCyclesPerHostSecond
+                      << " checksum=" << a.checksum << "\n";
+        }
+    }
+
+    if (!writeSweepJson(cases, weak, app_cases, skipped_reason,
                         "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;

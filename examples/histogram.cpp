@@ -11,12 +11,18 @@
  *
  * The fetch&increment registers then assemble a global "done"
  * count without a barrier.
+ *
+ * The sample stream and the bucketing reuse the bsort app's kernels
+ * (apps::bsort::keyOf / pickSplitters / bucketOf, docs/APPS.md):
+ * the buckets are splitter ranges exactly like the sort's, so the
+ * near-uniform counts double as a check on the sample-sort splitter
+ * quality.
  */
 
 #include <iostream>
 
+#include "apps/bsort/bsort.hh"
 #include "machine/machine.hh"
-#include "sim/rng.hh"
 #include "splitc/executor.hh"
 #include "splitc/proc.hh"
 #include "splitc/spread.hh"
@@ -45,6 +51,13 @@ main()
     auto counters =
         splitc::SpreadArray<std::uint64_t>::allocate(machine, buckets);
 
+    // Bucket boundaries from the bsort app's splitter kernel: cut
+    // the key space into `buckets` sample-quantile ranges.
+    apps::bsort::Config kcfg;
+    kcfg.keysPerPe = samplesPerPe;
+    const std::vector<std::uint64_t> splitters =
+        apps::bsort::pickSplitters(kcfg, buckets);
+
     auto finish = splitc::runSpmd(machine, [&](Proc &p) -> ProcTask {
         p.registerAmHandler(
             tagAdd, [](Proc &self,
@@ -54,13 +67,16 @@ main()
                 core.storeU64(addr, core.loadU64(addr) + a[1]);
             });
 
-        // Deterministic per-PE samples.
-        Rng rng(1000 + p.pe());
+        // Deterministic per-PE samples: the bsort app's key stream,
+        // classified with its splitter search.
+        const auto sample = [&](std::uint32_t s) {
+            return apps::bsort::bucketOf(
+                apps::bsort::keyOf(kcfg.seed, p.pe(), s), splitters);
+        };
 
         // Phase 1: histogram via atomic swap (exchange-add loop).
         for (std::uint32_t s = 0; s < samplesPerPe / 2; ++s) {
-            const std::uint32_t b =
-                static_cast<std::uint32_t>(rng.nextBounded(buckets));
+            const std::uint32_t b = sample(s);
             auto cell = counters.at(b).addr();
             // swap in a sentinel, add, swap back: the shell's atomic
             // swap serializes concurrent updaters.
@@ -72,9 +88,9 @@ main()
         co_await p.barrier();
 
         // Phase 2: histogram via Active Messages to the owner.
-        for (std::uint32_t s = 0; s < samplesPerPe / 2; ++s) {
-            const std::uint32_t b =
-                static_cast<std::uint32_t>(rng.nextBounded(buckets));
+        for (std::uint32_t s = samplesPerPe / 2; s < samplesPerPe;
+             ++s) {
+            const std::uint32_t b = sample(s);
             const PeId owner = counters.ownerOf(b);
             const Addr local = counters.localOf(b);
             if (owner == p.pe()) {

@@ -1,110 +1,54 @@
 /**
  * @file
- * Bulk-synchronous 1-D stencil (the §7 motivating pattern).
+ * Stencil relaxation on the torus — a driver over the real
+ * application: src/apps/qcd models the 4-D even/odd lattice
+ * relaxation sweep with the full five-rung optimization ladder
+ * (blocking read → ghost → get → put → bulk, see docs/APPS.md).
+ * This example runs that ladder on a pocket-sized lattice and
+ * prints the Figure 9-style walk, instead of duplicating an ad-hoc
+ * halo-exchange loop here.
  *
- * Each PE owns a block of a 1-D array and smooths it iteratively;
- * between steps the boundary cells are exchanged with the logical
- * neighbors using signaling STORES — one-way, pipelined — and a
- * global all_store_sync instead of per-element acknowledgements,
- * exactly the "bulk synchronous" style of §7.
+ * For the one-way signaling-store idiom this example used to
+ * demonstrate, see the Put rung of the app (splitc::Proc::putU64 +
+ * sync) and msg_driven.cpp.
  */
 
 #include <iomanip>
 #include <iostream>
-#include <vector>
 
-#include "machine/machine.hh"
-#include "splitc/executor.hh"
-#include "splitc/proc.hh"
-#include "splitc/spread.hh"
+#include "apps/qcd/qcd.hh"
 
 using namespace t3dsim;
-using splitc::GlobalAddr;
-using splitc::Proc;
-using splitc::ProcTask;
 
 int
 main()
 {
+    apps::qcd::Config cfg;
+    cfg.lx = cfg.ly = cfg.lz = cfg.lt = 4;
+    cfg.sweeps = 2;
+
     constexpr std::uint32_t pes = 8;
-    constexpr std::uint32_t cellsPerPe = 64;
-    constexpr int steps = 10;
+    std::cout << "QCD relaxation ladder, " << pes << " PEs, "
+              << cfg.lx << "x" << cfg.ly << "x" << cfg.lz << "x"
+              << cfg.lt << " sites/PE, " << cfg.sweeps
+              << " sweeps:\n";
 
-    machine::Machine machine(machine::MachineConfig::t3d(pes));
-
-    // Block layout with two halo cells: [halo_lo, cells..., halo_hi].
-    const Addr block =
-        splitc::allocSymmetric(machine, (cellsPerPe + 2) * 8);
-    auto cell = [&](std::uint32_t i) { return block + 8 * (i + 1); };
-    const Addr halo_lo = block;
-    const Addr halo_hi = block + 8 * (cellsPerPe + 1);
-
-    // Initialize: a spike on PE 0.
-    for (PeId pe = 0; pe < pes; ++pe) {
-        auto &storage = machine.node(pe).storage();
-        for (std::uint32_t i = 0; i < cellsPerPe; ++i) {
-            const double v = (pe == 0 && i == 0) ? 1000.0 : 0.0;
-            storage.writeU64(cell(i), std::bit_cast<std::uint64_t>(v));
-        }
-    }
-
-    auto finish = splitc::runSpmd(machine, [&](Proc &p) -> ProcTask {
-        auto &core = p.node().core();
-        const PeId left = (p.pe() + pes - 1) % pes;
-        const PeId right = (p.pe() + 1) % pes;
-
-        for (int step = 0; step < steps; ++step) {
-            // Push boundary cells into the neighbors' halos (stores:
-            // one-way communication, no acks needed).
-            p.storeF64(GlobalAddr::make(left, halo_hi),
-                       std::bit_cast<double>(core.loadU64(cell(0))));
-            p.storeF64(
-                GlobalAddr::make(right, halo_lo),
-                std::bit_cast<double>(core.loadU64(
-                    cell(cellsPerPe - 1))));
-
-            // Barrier + store completion: bulk-synchronous step.
-            co_await p.allStoreSync();
-
-            // Local smoothing sweep.
-            std::vector<double> next(cellsPerPe);
-            for (std::uint32_t i = 0; i < cellsPerPe; ++i) {
-                const Addr lo = i == 0 ? halo_lo : cell(i - 1);
-                const Addr hi =
-                    i == cellsPerPe - 1 ? halo_hi : cell(i + 1);
-                const double a =
-                    std::bit_cast<double>(core.loadU64(lo));
-                const double b =
-                    std::bit_cast<double>(core.loadU64(cell(i)));
-                const double c =
-                    std::bit_cast<double>(core.loadU64(hi));
-                next[i] = 0.25 * a + 0.5 * b + 0.25 * c;
-                p.compute(8);
-            }
-            for (std::uint32_t i = 0; i < cellsPerPe; ++i)
-                core.storeU64(cell(i),
-                              std::bit_cast<std::uint64_t>(next[i]));
-            co_await p.barrier();
-        }
-        co_return;
-    });
-
-    // Print the final field (sampled) and total mass conservation.
-    double mass = 0;
-    std::cout << "final field (first cell of each PE):\n";
-    for (PeId pe = 0; pe < pes; ++pe) {
-        auto &storage = machine.node(pe).storage();
-        for (std::uint32_t i = 0; i < cellsPerPe; ++i)
-            mass += std::bit_cast<double>(storage.readU64(cell(i)));
-        std::cout << "  PE" << pe << ": " << std::fixed
-                  << std::setprecision(4)
-                  << std::bit_cast<double>(storage.readU64(cell(0)))
+    double naive_us = 0;
+    bool all_ok = true;
+    for (apps::Variant v : apps::allVariants) {
+        const apps::qcd::Result r = apps::qcd::run(cfg, v, pes);
+        const double us = cyclesToUs(r.elapsed);
+        if (v == apps::Variant::BlockingRead)
+            naive_us = us;
+        all_ok &= r.converged;
+        std::cout << "  " << std::left << std::setw(13)
+                  << apps::variantName(v) << std::right << std::fixed
+                  << std::setprecision(1) << std::setw(8) << us
+                  << " us   " << std::setprecision(2) << std::setw(5)
+                  << (us > 0 ? naive_us / us : 0) << "x   "
+                  << (r.converged ? "matches reference"
+                                  : "WRONG RESULT")
                   << "\n";
     }
-    std::cout << "total mass: " << mass << " (expect ~1000)\n";
-    std::cout << "simulated time: "
-              << cyclesToUs(*std::max_element(finish.begin(),
-                                              finish.end()))
-              << " us for " << steps << " steps\n";
-    return 0;
+    return all_ok ? 0 : 1;
 }

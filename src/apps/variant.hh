@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The optimization-variant ladder shared by every application in
+ * `src/apps` (and mirroring EM3D's six Figure 9 versions, collapsed
+ * to the five mechanism steps the paper's compiler story walks):
+ *
+ *   BlockingRead — every remote value is consumed through a blocking
+ *                  Split-C read at the point of use (§4).
+ *   Ghost        — remote values are copied once per step into local
+ *                  ghost storage with blocking reads; compute touches
+ *                  only local memory (§8's Bundle step).
+ *   Get          — the ghost fill is pipelined with split-phase gets
+ *                  through the binding prefetch queue (§5).
+ *   Put          — the *owner* of each value pushes it into consumer
+ *                  ghost slots with non-blocking puts (§5.3).
+ *   Bulk         — values are staged contiguously and moved with one
+ *                  bulk transfer per peer, letting the runtime pick
+ *                  prefetch pipelining or the BLT by size (§6.3).
+ *
+ * docs/APPS.md is the handbook: per-app, which shell primitives each
+ * rung exercises and the counter signature to expect.
+ */
+
+#ifndef T3DSIM_APPS_VARIANT_HH
+#define T3DSIM_APPS_VARIANT_HH
+
+namespace t3dsim::apps
+{
+
+/** The five ladder rungs, in ascending optimization order. */
+enum class Variant
+{
+    BlockingRead,
+    Ghost,
+    Get,
+    Put,
+    Bulk,
+};
+
+/** Human-readable rung name (stable; used in reports and JSON). */
+inline const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::BlockingRead:
+        return "BlockingRead";
+      case Variant::Ghost:
+        return "Ghost";
+      case Variant::Get:
+        return "Get";
+      case Variant::Put:
+        return "Put";
+      case Variant::Bulk:
+        return "Bulk";
+    }
+    return "?";
+}
+
+/** All rungs in ladder order. */
+inline constexpr Variant allVariants[] = {
+    Variant::BlockingRead, Variant::Ghost, Variant::Get,
+    Variant::Put,          Variant::Bulk,
+};
+
+} // namespace t3dsim::apps
+
+#endif // T3DSIM_APPS_VARIANT_HH

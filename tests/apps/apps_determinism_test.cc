@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Determinism pins for the application suite: for both apps, every
+ * scheduler configuration (sequential, and the parallel scheduler at
+ * 1/2/4/8 host threads) and both counter modes must finish at the
+ * same simulated cycle with the same output checksum, bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bsort/bsort.hh"
+#include "apps/qcd/qcd.hh"
+#include "machine/machine.hh"
+
+namespace
+{
+
+using namespace t3dsim;
+using apps::Variant;
+
+splitc::SplitcConfig
+threads(int n)
+{
+    splitc::SplitcConfig sc;
+    sc.hostThreads = n;
+    return sc;
+}
+
+template <typename RunFn>
+void
+expectSchedulerInvariance(RunFn &&run_fn)
+{
+    const auto sequential = run_fn(threads(-1));
+    for (int n : {1, 2, 4, 8}) {
+        const auto parallel = run_fn(threads(n));
+        EXPECT_EQ(parallel.elapsed, sequential.elapsed)
+            << n << " host threads";
+        EXPECT_EQ(parallel.checksum, sequential.checksum)
+            << n << " host threads";
+    }
+}
+
+TEST(AppsDeterminism, BsortSequentialVsParallel)
+{
+    apps::bsort::Config cfg;
+    cfg.keysPerPe = 64;
+    for (Variant v : {Variant::BlockingRead, Variant::Put,
+                      Variant::Bulk}) {
+        expectSchedulerInvariance([&](const splitc::SplitcConfig &sc) {
+            auto r = apps::bsort::run(cfg, v, 8, sc);
+            EXPECT_TRUE(r.sorted) << apps::variantName(v);
+            return r;
+        });
+    }
+}
+
+TEST(AppsDeterminism, QcdSequentialVsParallel)
+{
+    apps::qcd::Config cfg;
+    cfg.lx = cfg.ly = cfg.lz = cfg.lt = 2;
+    cfg.sweeps = 1;
+    for (Variant v : {Variant::BlockingRead, Variant::Get,
+                      Variant::Bulk}) {
+        expectSchedulerInvariance([&](const splitc::SplitcConfig &sc) {
+            auto r = apps::qcd::run(cfg, v, 8, sc);
+            EXPECT_TRUE(r.converged) << apps::variantName(v);
+            return r;
+        });
+    }
+}
+
+TEST(AppsDeterminism, CountersDoNotPerturbTiming)
+{
+    machine::MachineConfig on = machine::MachineConfig::t3d(8);
+    on.observe.counters = true;
+    machine::MachineConfig off = machine::MachineConfig::t3d(8);
+    off.observe.counters = false;
+
+    apps::bsort::Config bcfg;
+    bcfg.keysPerPe = 64;
+    for (Variant v : apps::allVariants) {
+        const auto a = apps::bsort::run(bcfg, v, on);
+        const auto b = apps::bsort::run(bcfg, v, off);
+        EXPECT_EQ(a.elapsed, b.elapsed) << apps::variantName(v);
+        EXPECT_EQ(a.checksum, b.checksum) << apps::variantName(v);
+    }
+
+    apps::qcd::Config qcfg;
+    qcfg.lx = qcfg.ly = qcfg.lz = qcfg.lt = 2;
+    qcfg.sweeps = 1;
+    for (Variant v : apps::allVariants) {
+        const auto a = apps::qcd::run(qcfg, v, on);
+        const auto b = apps::qcd::run(qcfg, v, off);
+        EXPECT_EQ(a.elapsed, b.elapsed) << apps::variantName(v);
+        EXPECT_EQ(a.checksum, b.checksum) << apps::variantName(v);
+    }
+}
+
+TEST(AppsDeterminism, CountersStableAcrossSchedulers)
+{
+    machine::MachineConfig mc = machine::MachineConfig::t3d(8);
+    mc.observe.counters = true;
+
+    apps::bsort::Config cfg;
+    cfg.keysPerPe = 64;
+    const auto sequential =
+        apps::bsort::run(cfg, Variant::Get, mc, threads(-1));
+    ASSERT_TRUE(sequential.countersValid);
+    for (int n : {2, 4}) {
+        const auto parallel =
+            apps::bsort::run(cfg, Variant::Get, mc, threads(n));
+        ASSERT_TRUE(parallel.countersValid);
+        EXPECT_TRUE(parallel.counters == sequential.counters)
+            << n << " host threads";
+    }
+}
+
+} // namespace
