@@ -45,6 +45,10 @@
 #include "apps/qcd/qcd.hh"
 #include "em3d/em3d.hh"
 #include "machine/machine.hh"
+#include "model/apps_sig.hh"
+#include "model/compose.hh"
+#include "model/measure.hh"
+#include "model/primitives.hh"
 #include "shell/annex.hh"
 
 using namespace t3dsim;
@@ -404,6 +408,65 @@ runQcdCase(std::uint32_t pes)
         });
 }
 
+/** The analytical model's evaluation cost next to simulation cost
+ *  (docs/MODEL.md §7): same qcd ladder the app sweep simulates,
+ *  answered by the composed model instead. */
+struct ModelEval
+{
+    bool ran = false;
+    double nsPerPrediction = 0;
+
+    /** Simulated-seconds / model-seconds for one qcd ladder. */
+    double simVsModelSpeedup = 0;
+};
+
+ModelEval
+runModelEval()
+{
+    ModelEval eval;
+    std::string error;
+    const std::vector<model::Sweep> sweeps = model::measureAll(&error);
+    if (sweeps.empty()) {
+        std::cerr << "model eval skipped: " << error << "\n";
+        return eval;
+    }
+    const model::CostModel cm = model::fitCostModel(sweeps);
+
+    // Same ladder both ways: simulate the default qcd config at 32
+    // PEs, then answer the identical question with the model.
+    const auto sim0 = std::chrono::steady_clock::now();
+    const std::vector<model::LadderPoint> ladder =
+        model::runQcdLadder(32);
+    const auto sim1 = std::chrono::steady_clock::now();
+    const double sim_seconds =
+        double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   sim1 - sim0)
+                   .count()) /
+        1e9;
+
+    const int reps = 1000;
+    double acc = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        for (const model::LadderPoint &pt : ladder)
+            acc += model::predict(cm, pt.sig).cycles;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(acc);
+    const double ns =
+        double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t1 - t0)
+                   .count());
+    eval.ran = true;
+    eval.nsPerPrediction =
+        ns / (double(reps) * double(ladder.size()));
+    const double ladder_model_seconds =
+        eval.nsPerPrediction * double(ladder.size()) / 1e9;
+    if (ladder_model_seconds > 0)
+        eval.simVsModelSpeedup = sim_seconds / ladder_model_seconds;
+    return eval;
+}
+
 /** Worker-thread counts to sweep: 1, 2, 4, and the host's core
  *  count, deduplicated and sorted. */
 std::vector<unsigned>
@@ -436,6 +499,7 @@ bool
 writeSweepJson(const std::vector<SweepOutcome> &cases,
                const std::vector<WeakOutcome> &weak,
                const std::vector<AppOutcome> &app_cases,
+               const ModelEval &model_eval,
                const std::string &skipped_reason,
                const std::string &path)
 {
@@ -501,7 +565,13 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
            << ", \"checksum\": " << a.checksum << "}"
            << (i + 1 < app_cases.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n"
+       << "  \"model_eval\": {\"ran\": "
+       << (model_eval.ran ? "true" : "false")
+       << ", \"ns_per_prediction\": " << model_eval.nsPerPrediction
+       << ", \"sim_vs_model_speedup\": "
+       << model_eval.simVsModelSpeedup << "}\n"
+       << "}\n";
     return bool(os);
 }
 
@@ -597,6 +667,7 @@ main(int argc, char **argv)
     }
 
     std::vector<AppOutcome> app_cases;
+    ModelEval model_eval;
     if (!weak_only) {
         for (std::uint32_t pes : {32u, 256u}) {
             app_cases.push_back(runBsortCase(pes));
@@ -611,10 +682,16 @@ main(int argc, char **argv)
                       << a.simPeCyclesPerHostSecond
                       << " checksum=" << a.checksum << "\n";
         }
+        model_eval = runModelEval();
+        if (model_eval.ran)
+            std::cout << "model_eval ns/prediction="
+                      << model_eval.nsPerPrediction
+                      << " sim_vs_model_speedup="
+                      << model_eval.simVsModelSpeedup << "\n";
     }
 
-    if (!writeSweepJson(cases, weak, app_cases, skipped_reason,
-                        "BENCH_sim_speed.json")) {
+    if (!writeSweepJson(cases, weak, app_cases, model_eval,
+                        skipped_reason, "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;
     }

@@ -216,6 +216,12 @@ struct Result
     /** Host bytes resident for the modeled machine after the run
      *  (Machine::residentModelBytes; see DESIGN.md §11). */
     std::uint64_t modeledBytes = 0;
+
+    /** Machine-wide counter totals (valid only when the machine ran
+     *  with MachineConfig::observe.counters), as in the app suite's
+     *  Results — the export hook the model layer composes from. */
+    probes::PerfCounters counters{};
+    bool countersValid = false;
 };
 
 /**

@@ -245,6 +245,10 @@ run(const Config &config, Version version,
     result.usPerEdge = cyclesToUs(result.elapsed) / edges;
     result.checksum = g.checksum(machine);
     result.modeledBytes = machine.residentModelBytes();
+    if (machine.countersEnabled()) {
+        result.counters = machine.totalCounters();
+        result.countersValid = true;
+    }
     return result;
 }
 

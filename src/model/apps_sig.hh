@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-application counter signatures for the composer: closed-form
+ * compute terms (the p.compute() charges the 29-counter taxonomy
+ * deliberately does not count) and ladder runners that execute every
+ * rung of a workload on a counted machine and return (signature,
+ * simulated cycles) pairs the validator can diff (docs/MODEL.md §5).
+ *
+ * The compute closed forms are derived from the apps' charge sites,
+ * not fitted — each one mirrors the p.compute() calls in the app's
+ * run.cc exactly, so a drift between app and formula is a bug the
+ * validator will surface as a systematic error band.
+ */
+
+#ifndef T3DSIM_MODEL_APPS_SIG_HH
+#define T3DSIM_MODEL_APPS_SIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/bsort/bsort.hh"
+#include "apps/qcd/qcd.hh"
+#include "apps/variant.hh"
+#include "em3d/em3d.hh"
+#include "model/compose.hh"
+
+namespace t3dsim::model
+{
+
+/** One measured ladder rung: signature plus the simulated truth. */
+struct LadderPoint
+{
+    Signature sig;
+
+    /** Simulated elapsed cycles of the run (the validation truth). */
+    double simulatedCycles = 0;
+};
+
+/** @name Closed-form per-PE compute charges (cycles)
+ *
+ * Mirrors of the apps' p.compute() call sites; see each app's
+ * run.cc. These are per-PE *means* (bsort's receive counts vary by
+ * a few keys per PE around keysPerPe).
+ */
+/// @{
+
+/**
+ * EM3D: per iteration, computeCycles per edge plus the 4-cycle
+ * node-loop overhead per destination node on both sides.
+ */
+double em3dComputePerPe(const em3d::Config &config,
+                        em3d::Version version,
+                        std::uint64_t edges_per_pe_per_iter);
+
+/**
+ * bsort: classify pass (classifyCycles per owned key) plus
+ * 64/radixBits radix passes of count+scatter bookkeeping per
+ * received key and one cycle per bucket prefix-sum entry.
+ */
+double bsortComputePerPe(const apps::bsort::Config &config);
+
+/**
+ * qcd: siteUpdateCycles per site per sweep; the Bulk rung adds
+ * packCycles per staged and per unpacked halo value (one parity
+ * half of the halo per half-step, two half-steps per sweep).
+ */
+double qcdComputePerPe(const apps::qcd::Config &config,
+                       apps::Variant variant);
+
+/// @}
+
+/** @name Ladder runners
+ *
+ * Each runs every rung of the workload at @p pes on a fresh counted
+ * machine (MachineConfig::t3d with observe.counters, sequential
+ * scheduler) and returns one LadderPoint per rung, in ladder order.
+ * EM3D runs its six Figure 9 versions; bsort and qcd the five
+ * apps::Variant rungs.
+ */
+/// @{
+std::vector<LadderPoint> runEm3dLadder(std::uint32_t pes,
+                                       const em3d::Config &config = {});
+std::vector<LadderPoint>
+runBsortLadder(std::uint32_t pes,
+               const apps::bsort::Config &config = {});
+std::vector<LadderPoint>
+runQcdLadder(std::uint32_t pes, const apps::qcd::Config &config = {});
+/// @}
+
+} // namespace t3dsim::model
+
+#endif // T3DSIM_MODEL_APPS_SIG_HH

@@ -1,0 +1,319 @@
+#include "model/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace t3dsim::model
+{
+
+namespace
+{
+
+const Json &
+nullValue()
+{
+    static const Json v;
+    return v;
+}
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = "offset " + std::to_string(pos) + ": " + what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                // The bench reports are ASCII; decode BMP escapes to
+                // the low byte and reject surrogate plumbing rather
+                // than carry a full UTF-16 decoder nobody feeds.
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                const std::string hex = text.substr(pos, 4);
+                pos += 4;
+                out.push_back(static_cast<char>(
+                    std::strtoul(hex.c_str(), nullptr, 16) & 0xff));
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::makeObject();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.set(key, std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            std::vector<Json> items;
+            skipWs();
+            if (consume(']')) {
+                out = Json::makeArray({});
+                return true;
+            }
+            while (true) {
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                items.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']')) {
+                    out = Json::makeArray(std::move(items));
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json::makeString(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json::makeBool(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json::makeBool(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json::makeNull();
+            return true;
+        }
+        // Number.
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a value");
+        pos += static_cast<std::size_t>(end - start);
+        out = Json::makeNumber(v);
+        return true;
+    }
+};
+
+} // namespace
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    for (const auto &[k, v] : _members) {
+        if (k == key)
+            return v;
+    }
+    return nullValue();
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    for (const auto &[k, v] : _members) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    const Json &v = (*this)[key];
+    return v.isNumber() ? v.number() : fallback;
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p{text};
+    Json out;
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return Json();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "offset " + std::to_string(p.pos) +
+                     ": trailing garbage";
+        return Json();
+    }
+    if (error)
+        error->clear();
+    return out;
+}
+
+Json
+Json::parseFile(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return Json();
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parse(ss.str(), error);
+}
+
+Json
+Json::makeBool(bool b)
+{
+    Json j;
+    j._kind = Kind::Bool;
+    j._bool = b;
+    return j;
+}
+
+Json
+Json::makeNumber(double v)
+{
+    Json j;
+    j._kind = Kind::Number;
+    j._number = v;
+    return j;
+}
+
+Json
+Json::makeString(std::string s)
+{
+    Json j;
+    j._kind = Kind::String;
+    j._string = std::move(s);
+    return j;
+}
+
+Json
+Json::makeArray(std::vector<Json> items)
+{
+    Json j;
+    j._kind = Kind::Array;
+    j._array = std::move(items);
+    return j;
+}
+
+Json
+Json::makeObject()
+{
+    Json j;
+    j._kind = Kind::Object;
+    return j;
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    for (auto &[k, v] : _members) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    _members.emplace_back(key, std::move(value));
+}
+
+} // namespace t3dsim::model

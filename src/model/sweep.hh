@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sweep files — the interchange format between the benches (which
+ * measure) and the fitter (which turns measurements into per-
+ * primitive cost models). Schema `t3dsim-sweeps-v1`:
+ *
+ * ```json
+ * {
+ *   "schema": "t3dsim-sweeps-v1",
+ *   "sweeps": [
+ *     {"primitive": "splitc_read_fixed", "x_unit": "reads",
+ *      "points": [
+ *        {"x": 16, "cycles": 2080,
+ *         "counters": {"remoteReads": 16, "torusHops": 32}},
+ *        ...]}
+ *   ]
+ * }
+ * ```
+ *
+ * `x` is the primitive's natural size axis (ops for latency
+ * primitives, bytes for the BLT, PEs for the barrier); `cycles` is
+ * the simulated elapsed cycles of the whole x-unit run, so a linear
+ * fit's intercept is the startup and its slope the per-unit cost.
+ * `counters` carries the machine-total PerfCounters deltas of the
+ * run (the 29-counter taxonomy, docs/OBSERVABILITY.md) — the
+ * fitter prices counters, not opaque op counts, so sweeps written
+ * by any bench with counters on are ingestible. `t3d-model sweeps`
+ * writes one; `t3d-model fit --sweeps=F` ingests it (docs/MODEL.md).
+ */
+
+#ifndef T3DSIM_MODEL_SWEEP_HH
+#define T3DSIM_MODEL_SWEEP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/fit.hh"
+#include "model/json.hh"
+
+namespace t3dsim::model
+{
+
+/** One measured point of a sweep. */
+struct SweepPoint
+{
+    double x = 0;
+
+    /** Simulated elapsed cycles of the whole run of x units. */
+    double cycles = 0;
+
+    /** Machine-total counter deltas ((name, value); sorted not
+     *  required, duplicates not allowed). */
+    std::vector<std::pair<std::string, double>> counters;
+
+    /** Delta of one counter; 0 when absent. */
+    double counter(const std::string &name) const;
+};
+
+/** One measured sweep of one primitive. */
+struct Sweep
+{
+    std::string primitive;
+
+    /** What x counts: "reads", "bytes", "pes", "group", ... */
+    std::string xUnit;
+
+    std::vector<SweepPoint> points;
+
+    /** Optional free-form note carried into reports. */
+    std::string note;
+
+    /** (x, cycles) projection for plain curve fitting. */
+    std::vector<FitPoint> xyPoints() const;
+};
+
+/** Write sweeps as schema t3dsim-sweeps-v1. */
+void writeSweepsJson(std::ostream &os,
+                     const std::vector<Sweep> &sweeps);
+
+/**
+ * Parse a t3dsim-sweeps-v1 document.
+ * @return false (with *error set) on schema mismatch or parse
+ *         failure; sweeps is left empty.
+ */
+bool readSweepsJson(const Json &doc, std::vector<Sweep> &sweeps,
+                    std::string *error);
+
+/** Find a sweep by primitive name; null when absent. */
+const Sweep *findSweep(const std::vector<Sweep> &sweeps,
+                       const std::string &primitive);
+
+} // namespace t3dsim::model
+
+#endif // T3DSIM_MODEL_SWEEP_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The validator: predicted-vs-simulated error bands across the app
+ * ladders (docs/MODEL.md §6). Each row diffs one (workload, rung,
+ * pes) point: the composed prediction against the simulated elapsed
+ * cycles, with the composer's reliability flags carried through so
+ * rows where linear composition is known to break are marked rather
+ * than silently averaged in.
+ */
+
+#ifndef T3DSIM_MODEL_VALIDATE_HH
+#define T3DSIM_MODEL_VALIDATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/apps_sig.hh"
+#include "model/primitives.hh"
+
+namespace t3dsim::model
+{
+
+/** One predicted-vs-simulated comparison. */
+struct ErrorRow
+{
+    std::string workload;
+    std::string rung;
+    double pes = 0;
+    double simulatedCycles = 0;
+    double predictedCycles = 0;
+
+    /** Signed relative error, percent (+ = model over-predicts). */
+    double errorPct = 0;
+
+    /** Composer reliability flags (limit paths, unknown counters). */
+    std::vector<std::string> flags;
+};
+
+/** Error bands over a set of rows. */
+struct ValidationReport
+{
+    std::vector<ErrorRow> rows;
+
+    /** Median |error| %, over all rows / per workload. */
+    double medianAbsErrorPct = 0;
+    std::vector<std::pair<std::string, double>> perWorkloadMedian;
+
+    double maxAbsErrorPct = 0;
+
+    /** Rows whose |error| exceeded the band or carried flags. */
+    std::size_t flaggedRows = 0;
+};
+
+/** Diff measured ladder points against the composed predictions. */
+std::vector<ErrorRow>
+validateLadder(const CostModel &model,
+               const std::vector<LadderPoint> &ladder);
+
+/**
+ * Aggregate rows into a report. @p band_pct is the acceptance band:
+ * rows beyond it (or carrying composer flags) count as flagged.
+ */
+ValidationReport summarize(std::vector<ErrorRow> rows,
+                           double band_pct = 10.0);
+
+/** Render the report as a markdown table (for EXPERIMENTS.md). */
+std::string reportMarkdown(const ValidationReport &report);
+
+/**
+ * Run the full validation matrix: em3d + bsort + qcd ladders at each
+ * torus size in @p pe_counts, diffed against @p model.
+ */
+ValidationReport
+validateAll(const CostModel &model,
+            const std::vector<std::uint32_t> &pe_counts,
+            double band_pct = 10.0);
+
+} // namespace t3dsim::model
+
+#endif // T3DSIM_MODEL_VALIDATE_HH

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Docs audit: every relative markdown link and anchor must resolve.
+
+Walks the repo's markdown files (root + docs/), extracts inline
+links, and checks that
+
+  - relative file targets exist (README.md, docs/MODEL.md, src paths
+    referenced as links, ...);
+  - intra-document anchors (#section) match a heading in the target
+    file, using GitHub's slug rules (lowercase, spaces to dashes,
+    punctuation dropped);
+  - no file contains an obviously stale test-count claim (the suite
+    prints its real count in CI; docs must not hard-code a different
+    one when --tests=N is passed).
+
+External http(s) links are not fetched — CI must not depend on the
+network — only checked for empty targets. Exits non-zero listing
+every broken link.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.S)
+TEST_COUNT_RE = re.compile(r"[~]?(\d{3,4})\s+(?:tier-1\s+)?tests")
+
+# Changelog-style files record historical per-PR test counts on
+# purpose; the staleness check only applies to current-state claims.
+TEST_COUNT_EXEMPT = {"CHANGES.md", "ROADMAP.md"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation (no
+    replacement dash), spaces to dashes, doubles preserved."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        body = CODE_FENCE_RE.sub("", f.read())
+    slugs = set()
+    for m in HEADING_RE.finditer(body):
+        slugs.add(slugify(m.group(1)))
+    return slugs
+
+
+def markdown_files(root: str):
+    for base in (root, os.path.join(root, "docs")):
+        if not os.path.isdir(base):
+            continue
+        for name in sorted(os.listdir(base)):
+            if name.endswith(".md"):
+                yield os.path.join(base, name)
+
+
+def check(root: str, expected_tests: int | None) -> int:
+    errors = []
+    for path in markdown_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            body = CODE_FENCE_RE.sub("", f.read())
+
+        for m in LINK_RE.finditer(body):
+            target = m.group(2)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if slugify(target[1:]) not in headings_of(path):
+                    errors.append(f"{rel}: broken anchor {target}")
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if slugify(anchor) not in headings_of(resolved):
+                    errors.append(
+                        f"{rel}: broken anchor {target}")
+
+        if (expected_tests is not None
+                and os.path.basename(path) not in TEST_COUNT_EXEMPT):
+            for m in TEST_COUNT_RE.finditer(body):
+                claimed = int(m.group(1))
+                if claimed != expected_tests:
+                    errors.append(
+                        f"{rel}: stale test count {claimed} "
+                        f"(suite has {expected_tests})")
+
+    for e in errors:
+        print("FAIL:", e)
+    if not errors:
+        print("docs OK:", len(list(markdown_files(root))),
+              "markdown files checked")
+    return 1 if errors else 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--tests", type=int, default=None,
+                    help="expected tier-1 test count; docs claiming "
+                         "a different count fail the audit")
+    args = ap.parse_args()
+    sys.exit(check(args.root, args.tests))
+
+
+if __name__ == "__main__":
+    main()
