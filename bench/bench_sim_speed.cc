@@ -19,9 +19,19 @@
  * A second, sequential-only weak-scaling sweep takes the PE count
  * through 256 / 1K / 4K / 16K / 64K (three Figure 9 versions) and
  * reports sim-PE-cycles/s, modeled bytes per PE
- * (Machine::residentModelBytes) and the host's peak RSS — the
- * capacity story behind DESIGN.md §11's flyweight PE state. Pass
- * --weak-only to run just this sweep, --max-pes=N to cap it.
+ * (Machine::residentModelBytes) and two host-RSS figures: the
+ * process-lifetime peak (ru_maxrss — monotone across rows, so later
+ * rows inherit earlier rows' high-water mark) and a current-RSS
+ * sample (/proc/self/statm) taken right after the case, which is the
+ * per-case figure. Pass --weak-only to run just this sweep,
+ * --max-pes=N to cap it.
+ *
+ * Both modes also record a one_thread_overhead case: the same EM3D
+ * sweep under the sequential scheduler and under the
+ * ParallelScheduler with a single worker, whose ratio bounds the
+ * fixed cost of the windowed machinery (adaptive lookahead lets the
+ * solo shard run to its next park in one window, so the ratio should
+ * stay near 1; CI asserts <= 1.15).
  */
 
 #include <algorithm>
@@ -37,6 +47,7 @@
 #include <vector>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <benchmark/benchmark.h>
 
@@ -226,7 +237,9 @@ runSweep(std::uint32_t pes, unsigned host_threads)
 }
 
 /** Peak resident set of this process, in bytes (Linux ru_maxrss is
- *  KiB). 0 if the kernel will not say. */
+ *  KiB). 0 if the kernel will not say. Process-lifetime high-water
+ *  mark: it never decreases, so per-case readings taken in sequence
+ *  are cumulative, not per-case. */
 std::uint64_t
 peakRssBytes()
 {
@@ -234,6 +247,21 @@ peakRssBytes()
     if (getrusage(RUSAGE_SELF, &ru) != 0)
         return 0;
     return std::uint64_t(ru.ru_maxrss) * 1024;
+}
+
+/** Current resident set of this process, in bytes, sampled from
+ *  /proc/self/statm. Unlike ru_maxrss this tracks frees, so a sample
+ *  taken right after a case reflects that case. 0 where /proc is
+ *  unavailable. */
+std::uint64_t
+currentRssBytes()
+{
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t size = 0, resident = 0;
+    if (!(statm >> size >> resident))
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return resident * std::uint64_t(page > 0 ? page : 4096);
 }
 
 // ---------------------------------------------------------------------
@@ -253,9 +281,15 @@ struct WeakOutcome
     std::uint64_t modeledBytes = 0;
     double modeledBytesPerPe = 0;
 
-    /** Process peak RSS after this case, bytes (cumulative across
-     *  cases: the sweep runs smallest-P first). */
+    /** Process peak RSS after this case, bytes. ru_maxrss is a
+     *  process-lifetime high-water mark, so this is cumulative
+     *  across cases (the sweep runs smallest-P first); see
+     *  host_rss_note in the JSON. */
     std::uint64_t hostPeakRssBytes = 0;
+
+    /** Current RSS sampled right after this case (bytes): the
+     *  per-case figure. */
+    std::uint64_t hostCurrentRssBytes = 0;
 
     double checksum = 0;
 };
@@ -318,6 +352,47 @@ runWeakCase(std::uint32_t pes)
         double(out.simCycles) * pes / out.hostSeconds;
     out.modeledBytesPerPe = double(out.modeledBytes) / pes;
     out.hostPeakRssBytes = peakRssBytes();
+    out.hostCurrentRssBytes = currentRssBytes();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// 1-thread ParallelScheduler overhead (the windowed machinery's tax)
+// ---------------------------------------------------------------------
+
+/** Sequential scheduler vs ParallelScheduler with one worker on the
+ *  identical sweep: the ratio is the fixed cost of windows, deferred
+ *  outboxes and the merge — everything except actual contention. */
+struct OverheadOutcome
+{
+    bool ran = false;
+    std::uint32_t pes = 0;
+    double sequentialSeconds = 0;
+    double oneThreadSeconds = 0;
+
+    /** oneThreadSeconds / sequentialSeconds (1.0 = free). */
+    double overheadRatio = 0;
+};
+
+OverheadOutcome
+runOverheadCase(std::uint32_t pes, bool &diverged)
+{
+    const SweepOutcome seq = runSweep(pes, 0);
+    const SweepOutcome par = runSweep(pes, 1);
+    if (par.simCycles != seq.simCycles ||
+        par.checksum != seq.checksum) {
+        std::cerr << "error: 1-thread overhead run diverged at pes="
+                  << pes << ": sim_cycles " << par.simCycles << " vs "
+                  << seq.simCycles << ", checksum " << par.checksum
+                  << " vs " << seq.checksum << "\n";
+        diverged = true;
+    }
+    OverheadOutcome out;
+    out.ran = true;
+    out.pes = pes;
+    out.sequentialSeconds = seq.hostSeconds;
+    out.oneThreadSeconds = par.hostSeconds;
+    out.overheadRatio = par.hostSeconds / seq.hostSeconds;
     return out;
 }
 
@@ -500,6 +575,7 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
                const std::vector<WeakOutcome> &weak,
                const std::vector<AppOutcome> &app_cases,
                const ModelEval &model_eval,
+               const OverheadOutcome &overhead,
                const std::string &skipped_reason,
                const std::string &path)
 {
@@ -512,7 +588,13 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
        << "  \"bench\": \"sim_speed_em3d_sweep\",\n"
        << "  \"host_cores\": " << std::thread::hardware_concurrency()
        << ",\n"
-       << "  \"host_peak_rss_bytes\": " << peakRssBytes() << ",\n";
+       << "  \"host_peak_rss_bytes\": " << peakRssBytes() << ",\n"
+       << "  \"host_rss_note\": \"host_peak_rss_bytes is the "
+       << "process-lifetime high-water mark (ru_maxrss): it is "
+       << "monotone, so per-row readings are cumulative, not "
+       << "per-case; host_current_rss_bytes is a /proc/self/statm "
+       << "sample taken right after the case and is the per-case "
+       << "figure\",\n";
     if (!skipped_reason.empty())
         os << "  \"skipped_reason\": \"" << skipped_reason << "\",\n";
     // remote_fraction is a config literal (0.2), not a measurement:
@@ -550,6 +632,8 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
            << ", \"modeled_bytes\": " << w.modeledBytes
            << ", \"modeled_bytes_per_pe\": " << w.modeledBytesPerPe
            << ", \"host_peak_rss_bytes\": " << w.hostPeakRssBytes
+           << ", \"host_current_rss_bytes\": "
+           << w.hostCurrentRssBytes
            << ", \"checksum\": " << w.checksum << "}"
            << (i + 1 < weak.size() ? "," : "") << "\n";
     }
@@ -566,6 +650,15 @@ writeSweepJson(const std::vector<SweepOutcome> &cases,
            << (i + 1 < app_cases.size() ? "," : "") << "\n";
     }
     os << "  ],\n"
+       << "  \"one_thread_overhead\": {\"ran\": "
+       << (overhead.ran ? "true" : "false")
+       << ", \"pes\": " << overhead.pes
+       << ", \"sequential_host_seconds\": "
+       << overhead.sequentialSeconds
+       << ", \"one_thread_host_seconds\": "
+       << overhead.oneThreadSeconds
+       << ", \"overhead_ratio\": " << overhead.overheadRatio
+       << "},\n"
        << "  \"model_eval\": {\"ran\": "
        << (model_eval.ran ? "true" : "false")
        << ", \"ns_per_prediction\": " << model_eval.nsPerPrediction
@@ -662,9 +755,19 @@ main(int argc, char **argv)
                   << " sim_pe_cycles/s=" << w.simPeCyclesPerHostSecond
                   << " modeled_bytes/pe=" << w.modeledBytesPerPe
                   << " peak_rss=" << w.hostPeakRssBytes
+                  << " current_rss=" << w.hostCurrentRssBytes
                   << " checksum=" << w.checksum << "\n";
         weak.push_back(w);
     }
+
+    // The 1-thread overhead case runs in both modes (CI's perf-smoke
+    // job uses --weak-only): a single worker needs no concurrency, so
+    // the ratio is meaningful even on a 1-core host.
+    const OverheadOutcome overhead = runOverheadCase(256, diverged);
+    std::cout << "one_thread_overhead pes=" << overhead.pes
+              << " sequential_s=" << overhead.sequentialSeconds
+              << " one_thread_s=" << overhead.oneThreadSeconds
+              << " ratio=" << overhead.overheadRatio << "\n";
 
     std::vector<AppOutcome> app_cases;
     ModelEval model_eval;
@@ -690,7 +793,7 @@ main(int argc, char **argv)
                       << model_eval.simVsModelSpeedup << "\n";
     }
 
-    if (!writeSweepJson(cases, weak, app_cases, model_eval,
+    if (!writeSweepJson(cases, weak, app_cases, model_eval, overhead,
                         skipped_reason, "BENCH_sim_speed.json")) {
         std::cerr << "error: could not write BENCH_sim_speed.json\n";
         return 1;

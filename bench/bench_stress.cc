@@ -17,6 +17,7 @@
  *   t3d-fuzz --large-smoke           # fixed 1K/2K/4K-PE smoke corpus
  *   t3d-fuzz --flood 24 --am-slots 8 --ovf-slots 64
  *                                    # drive the AM overflow ring
+ *   t3d-fuzz --adaptive-lookahead    # add adaptive-horizon legs
  *   t3d-fuzz --saturate              # AM/message flood demo
  *   t3d-fuzz --json                  # machine-readable report
  *
@@ -52,6 +53,7 @@ struct CliOptions
     std::uint32_t amSlots = 0;
     std::uint32_t ovfSlots = 0;
     std::vector<int> threads = {1, 2, 4, 8};
+    bool adaptiveLegs = false;
     bool repro = false;
     bool saturate = false;
     bool json = false;
@@ -77,8 +79,9 @@ usage(int status)
         << "usage: t3d-fuzz [--seed N | --corpus N [--base B]]\n"
         << "                [--pes P] [--rounds R] [--ops K]\n"
         << "                [--flood N] [--am-slots Q] [--ovf-slots V]\n"
-        << "                [--threads a,b,c] [--repro] [--saturate]\n"
-        << "                [--large-smoke] [--json]\n";
+        << "                [--threads a,b,c] [--adaptive-lookahead]\n"
+        << "                [--repro] [--saturate] [--large-smoke]\n"
+        << "                [--json]\n";
     std::exit(status);
 }
 
@@ -114,6 +117,8 @@ parseArgs(int argc, char **argv)
             opt.ovfSlots = std::uint32_t(std::stoul(value()));
         } else if (arg == "--threads") {
             opt.threads = parseThreads(value());
+        } else if (arg == "--adaptive-lookahead") {
+            opt.adaptiveLegs = true;
         } else if (arg == "--repro") {
             opt.repro = true;
         } else if (arg == "--saturate") {
@@ -213,8 +218,8 @@ main(int argc, char **argv)
     if (opt.json)
         std::cout << "[\n";
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        const auto rep =
-            stress::runDifferential(configs[i], opt.threads);
+        const auto rep = stress::runDifferential(
+            configs[i], opt.threads, opt.adaptiveLegs);
         if (!rep.pass)
             ++failures;
         if (opt.json) {

@@ -29,9 +29,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
 #include "probes/counters.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::alpha
@@ -190,7 +190,7 @@ class WriteBuffer
     DrainPort &_port;
 
     /** FIFO of occupied slots, oldest first. */
-    std::deque<Slot> _slots;
+    sim::RingBuffer<Slot> _slots;
 
     /** Slots not yet issued to memory; issueDue() is called at the
      *  head of every memory operation and almost always has nothing

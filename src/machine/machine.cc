@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "probes/batch.hh"
 #include "sim/logging.hh"
 
 namespace t3dsim::machine
@@ -49,6 +50,19 @@ Machine::observeTransit(PeId src, PeId dst) const
     // Host-side accounting only: nothing here reads from or writes to
     // a Clock, so the transit latency returned to the caller is
     // untouched.
+    if (probes::CounterBatch *batch = probes::currentCounterBatch()) {
+        // Multi-shard run: the torus tallies are machine-wide mutable
+        // state, so the route defers to the serial window flush.
+        // torusHops goes to the source node's record, which only the
+        // source's own thread ever bumps (transits are charged on the
+        // requester's path), so it stays direct. Tracing forces a
+        // single shard, so no batch is installed on traced runs and
+        // the branch below still sees every route as it happens.
+        if (_countersOn)
+            _nodes[src]->counters().torusHops += _torus.hops(src, dst);
+        batch->routes.emplace_back(src, dst);
+        return;
+    }
     const std::array<std::uint64_t, 3> before = _torus.dimTraversals();
     _torus.recordRoute(src, dst);
 

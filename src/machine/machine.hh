@@ -77,6 +77,17 @@ class Machine : public shell::MachinePort
      */
     std::size_t residentModelBytes() const;
 
+    /**
+     * Replay one route recording that observeTransit deferred into a
+     * shard's CounterBatch (probes/batch.hh). Serial phases only —
+     * mutates the machine-wide torus tallies.
+     */
+    void
+    recordDeferredRoute(PeId src, PeId dst) const
+    {
+        _torus.recordRoute(src, dst);
+    }
+
     /** @name Observability (see docs/OBSERVABILITY.md) */
     /// @{
     /** Effective switches (config merged with the environment). */

@@ -307,12 +307,55 @@ Node::swap(Addr va, std::uint64_t new_value)
 Node::RequesterChannel &
 Node::channelFor(PeId requester)
 {
-    if (RequesterChannel *ch = _channels.find(requester)) [[likely]]
-        return *ch;
-    // Remote requesters' accesses are events of this memory, so the
-    // new channel inherits this node's counter record.
-    return _channels.getOrCreate(requester, _config.dram,
-                                 countersIfEnabled());
+    RequesterChannel *ch = _channels.find(requester);
+    if (!ch) [[unlikely]] {
+        // Remote requesters' accesses are events of this memory, so
+        // the new channel inherits this node's counter record.
+        ch = &_channels.getOrCreate(requester, _config.dram,
+                                    countersIfEnabled());
+    }
+    if (_channelBatching) [[unlikely]]
+        batchChannel(*ch);
+    return *ch;
+}
+
+void
+Node::batchChannel(RequesterChannel &ch)
+{
+    probes::CounterBatch *batch = probes::currentCounterBatch();
+    if (!batch || ch.registered)
+        return;
+    // First touch since the last flush: point the channel's bumps at
+    // its local delta (idempotent across windows) and hand the delta
+    // to the touching shard's batch. Single writer — only the
+    // requester's own thread reaches its channel in-window.
+    if (!ch.delta)
+        ch.delta = std::make_unique<probes::PerfCounters>();
+    ch.registered = true;
+    ch.dram.setCounters(ch.delta.get());
+    batch->channels.push_back(
+        {ch.delta.get(), countersIfEnabled(), &ch.registered});
+}
+
+void
+Node::setChannelCounterBatching(bool on)
+{
+    _channelBatching = on;
+    if (on)
+        return;
+    // Serial teardown: restore every channel to the node's record and
+    // fold in anything a final partial window left behind.
+    probes::PerfCounters *ctr = countersIfEnabled();
+    _channels.forEach([ctr](RequesterChannel &ch) {
+        ch.dram.setCounters(ctr);
+        if (ch.registered || ch.delta) {
+            if (ctr && ch.delta)
+                *ctr += *ch.delta;
+            if (ch.delta)
+                *ch.delta = probes::PerfCounters{};
+            ch.registered = false;
+        }
+    });
 }
 
 probes::PerfCounters &

@@ -35,6 +35,7 @@
 #include "machine/config.hh"
 #include "mem/dram.hh"
 #include "mem/storage.hh"
+#include "probes/batch.hh"
 #include "probes/counters.hh"
 #include "probes/trace.hh"
 #include "shell/ports.hh"
@@ -234,6 +235,17 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
      * buffer, DRAM, and shell. Called by the Machine constructor.
      */
     void enableObservability(bool counters_on, probes::TraceSink *trace);
+
+    /**
+     * Toggle per-requester-channel counter batching (see
+     * probes/batch.hh). While on, a channel touched from a thread
+     * with an installed CounterBatch redirects its DRAM counter
+     * bumps into a channel-local delta and registers the delta with
+     * that batch for the serial per-window flush. Turning it off
+     * (serial phases only) rewires every channel to this node's real
+     * record and folds any unflushed delta into it.
+     */
+    void setChannelCounterBatching(bool on);
     /// @}
 
   private:
@@ -285,6 +297,21 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
 
         mem::DramController dram;
         Cycles writePortFree = 0;
+
+        /**
+         * @name Counter batching (probes/batch.hh)
+         *
+         * Under a multi-shard counters-on run the channel's DRAM
+         * bumps are redirected into @c delta (materialized on first
+         * registration) instead of this node's record, which the
+         * requester's thread must not touch. Single writer: the
+         * requester's own thread sets @c registered and bumps the
+         * delta; the controller clears both at the serial flush.
+         */
+        /// @{
+        std::unique_ptr<probes::PerfCounters> delta;
+        bool registered = false;
+        /// @}
     };
 
     /**
@@ -398,7 +425,14 @@ class Node : public shell::RemoteMemoryPort, public alpha::DrainPort
 
     RequesterChannel &channelFor(PeId requester);
 
+    /** Register @p ch with the calling thread's counter batch
+     *  (channel-batching slow path; see setChannelCounterBatching). */
+    void batchChannel(RequesterChannel &ch);
+
     ChannelTable _channels;
+
+    /** setChannelCounterBatching state. */
+    bool _channelBatching = false;
 
     Addr _allocNext = allocBase;
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shard-local counter batching for the host-parallel scheduler
+ * (DESIGN.md §9, docs/OBSERVABILITY.md "Batched flushes").
+ *
+ * With counters on and more than one shard, two bump paths would
+ * otherwise cross threads:
+ *
+ *  - a requester's in-window write timing runs the *destination*
+ *    node's per-requester DRAM channel, whose T3D_COUNT sites bump
+ *    the destination's record from the requester's thread;
+ *  - Machine::observeTransit mutates the machine-wide torus route
+ *    tallies (per-dimension and per-link traversal counts).
+ *
+ * Both are pure commutative sums, so the fix is accumulation, not
+ * locking: each channel redirects its bumps into a channel-local
+ * delta record registered with the touching shard's CounterBatch, and
+ * each transit appends its (src, dst) route pair. The controller
+ * flushes every shard's batch once per window, serially, inside the
+ * existing merge barrier — adding deltas into the real per-node
+ * records and replaying routes into the torus tallies. Counter bumps
+ * still never read or advance a Clock, so batching preserves the
+ * observability invariant (counters on == counters off, bit-identical
+ * timing) and the flushed totals equal the sequential run's exactly.
+ */
+
+#ifndef T3DSIM_PROBES_BATCH_HH
+#define T3DSIM_PROBES_BATCH_HH
+
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace t3dsim::probes
+{
+
+struct PerfCounters;
+
+/** One channel's pending counter delta and where it flushes to. */
+struct ChannelDelta
+{
+    /** Channel-local accumulation record (single writer: the
+     *  requester's shard thread). */
+    PerfCounters *delta = nullptr;
+
+    /** The destination node's real record (null only if counting is
+     *  somehow off; flush then just drops the delta). */
+    PerfCounters *target = nullptr;
+
+    /** The channel's registered flag, cleared at flush so the next
+     *  window's first touch re-registers it. */
+    bool *registered = nullptr;
+};
+
+/**
+ * One shard's per-window batch. Owned by the shard; written only by
+ * its worker thread while running, drained only by the controller at
+ * the serial window merge (the park/dispatch handshakes order the
+ * accesses).
+ */
+struct CounterBatch
+{
+    /** Channels this shard touched since the last flush. */
+    std::vector<ChannelDelta> channels;
+
+    /** Deferred Machine::observeTransit route recordings. */
+    std::vector<std::pair<PeId, PeId>> routes;
+};
+
+namespace detail
+{
+/** The batch installed on this thread (null on the controller, on
+ *  sequential runs, and on single-shard parallel runs). */
+inline thread_local CounterBatch *tlsCounterBatch = nullptr;
+} // namespace detail
+
+/** The calling thread's installed batch, or null. */
+inline CounterBatch *
+currentCounterBatch()
+{
+    return detail::tlsCounterBatch;
+}
+
+/** Install @p batch (or null) as this thread's counter batch. */
+inline void
+installCounterBatch(CounterBatch *batch)
+{
+    detail::tlsCounterBatch = batch;
+}
+
+} // namespace t3dsim::probes
+
+#endif // T3DSIM_PROBES_BATCH_HH

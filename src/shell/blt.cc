@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 
 namespace t3dsim::shell
@@ -78,13 +78,15 @@ BlockTransferEngine::startRead(PeId src, Addr remote_offset,
     const Cycles start = invoke();
     const Cycles transit = _machine.transitCycles(_localPe, src);
 
-    std::vector<std::uint8_t> buf(len);
+    // Staging buffer from the per-thread scratch arena: one transfer
+    // per scope, dropped on return (DESIGN.md §9).
+    sim::ArenaScope scratch;
+    std::uint8_t *buf = scratch.alloc(len);
     if (src == _localPe)
-        _core.storage().readBlock(remote_offset, buf.data(), len);
+        _core.storage().readBlock(remote_offset, buf, len);
     else
-        _machine.remoteMemory(src).bulkReadRaw(remote_offset, buf.data(),
-                                               len);
-    _core.storage().writeBlock(local_offset, buf.data(), len);
+        _machine.remoteMemory(src).bulkReadRaw(remote_offset, buf, len);
+    _core.storage().writeBlock(local_offset, buf, len);
 
     // DMA into local memory: any cached copies of the destination
     // are invalidated (the engine is not coherent with the cache).
@@ -106,13 +108,13 @@ BlockTransferEngine::startWrite(PeId dst, Addr remote_offset,
     const Cycles start = invoke();
     const Cycles transit = _machine.transitCycles(_localPe, dst);
 
-    std::vector<std::uint8_t> buf(len);
-    _core.storage().readBlock(local_offset, buf.data(), len);
+    sim::ArenaScope scratch;
+    std::uint8_t *buf = scratch.alloc(len);
+    _core.storage().readBlock(local_offset, buf, len);
     if (dst == _localPe)
-        _core.storage().writeBlock(remote_offset, buf.data(), len);
+        _core.storage().writeBlock(remote_offset, buf, len);
     else
-        _machine.remoteMemory(dst).bulkWriteRaw(remote_offset, buf.data(),
-                                                len);
+        _machine.remoteMemory(dst).bulkWriteRaw(remote_offset, buf, len);
 
     _lastCompletion = start + transit + streamCycles(len, false);
     noteTransfer("blt_write", start);
@@ -130,16 +132,17 @@ BlockTransferEngine::startStridedRead(PeId src, Addr remote_offset,
     const Cycles start = invoke();
     const Cycles transit = _machine.transitCycles(_localPe, src);
 
-    std::vector<std::uint8_t> elem(elem_bytes);
+    sim::ArenaScope scratch;
+    std::uint8_t *elem = scratch.alloc(elem_bytes);
     for (std::size_t i = 0; i < count; ++i) {
         const Addr roff = remote_offset + i * remote_stride;
         const Addr loff = local_offset + i * local_stride;
         if (src == _localPe)
-            _core.storage().readBlock(roff, elem.data(), elem_bytes);
+            _core.storage().readBlock(roff, elem, elem_bytes);
         else
-            _machine.remoteMemory(src).bulkReadRaw(roff, elem.data(),
+            _machine.remoteMemory(src).bulkReadRaw(roff, elem,
                                                    elem_bytes);
-        _core.storage().writeBlock(loff, elem.data(), elem_bytes);
+        _core.storage().writeBlock(loff, elem, elem_bytes);
         _core.dcache().invalidate(loff);
     }
 
@@ -161,15 +164,16 @@ BlockTransferEngine::startStridedWrite(PeId dst, Addr remote_offset,
     const Cycles start = invoke();
     const Cycles transit = _machine.transitCycles(_localPe, dst);
 
-    std::vector<std::uint8_t> elem(elem_bytes);
+    sim::ArenaScope scratch;
+    std::uint8_t *elem = scratch.alloc(elem_bytes);
     for (std::size_t i = 0; i < count; ++i) {
         const Addr roff = remote_offset + i * remote_stride;
         const Addr loff = local_offset + i * local_stride;
-        _core.storage().readBlock(loff, elem.data(), elem_bytes);
+        _core.storage().readBlock(loff, elem, elem_bytes);
         if (dst == _localPe)
-            _core.storage().writeBlock(roff, elem.data(), elem_bytes);
+            _core.storage().writeBlock(roff, elem, elem_bytes);
         else
-            _machine.remoteMemory(dst).bulkWriteRaw(roff, elem.data(),
+            _machine.remoteMemory(dst).bulkWriteRaw(roff, elem,
                                                     elem_bytes);
     }
 

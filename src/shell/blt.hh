@@ -21,13 +21,13 @@
 #define T3DSIM_SHELL_BLT_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "alpha/core.hh"
 #include "probes/counters.hh"
 #include "probes/trace.hh"
 #include "shell/config.hh"
 #include "shell/ports.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::shell
@@ -110,7 +110,7 @@ class BlockTransferEngine
     /** Completion times of transfers still streaming, sorted. The
      *  engine sustains bltMaxInFlight of them; invoking it past that
      *  stalls the caller until the earliest one completes. */
-    std::deque<Cycles> _outstanding;
+    sim::RingBuffer<Cycles> _outstanding;
 
     probes::PerfCounters *_ctr = nullptr;
     probes::TraceSink *_trace = nullptr;

@@ -24,13 +24,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "probes/counters.hh"
 #include "probes/trace.hh"
 #include "shell/config.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::shell
@@ -126,8 +126,8 @@ class MessageQueue
      * _spill is non-empty only while _hw is at capacity — system
      * software refills the hardware segment as it drains.
      */
-    std::deque<Entry> _hw;
-    std::deque<Entry> _spill;
+    sim::RingBuffer<Entry> _hw;
+    sim::RingBuffer<Entry> _spill;
 
     std::uint64_t _delivered = 0;
     std::uint64_t _spilled = 0;

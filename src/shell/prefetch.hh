@@ -19,13 +19,13 @@
 #define T3DSIM_SHELL_PREFETCH_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "alpha/core.hh"
 #include "probes/counters.hh"
 #include "probes/trace.hh"
 #include "shell/config.hh"
 #include "shell/ports.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::shell
@@ -103,7 +103,7 @@ class PrefetchQueue
     MachinePort &_machine;
     alpha::AlphaCore &_core;
 
-    std::deque<Slot> _fifo;
+    sim::RingBuffer<Slot> _fifo;
     Cycles _injectFree = 0;
     std::uint64_t _issued = 0;
     std::uint64_t _popped = 0;

@@ -16,7 +16,6 @@
 #define T3DSIM_SHELL_REMOTE_ENGINE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "alpha/core.hh"
 #include "probes/counters.hh"
@@ -25,6 +24,7 @@
 #include "shell/config.hh"
 #include "shell/ports.hh"
 #include "sim/arrivals.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::shell
@@ -110,7 +110,7 @@ class RemoteEngine
     Cycles _injectFree = 0;
 
     /** Remote completion times of recent in-flight writes (window). */
-    std::deque<Cycles> _inflight;
+    sim::RingBuffer<Cycles> _inflight;
 
     /** Acknowledgement returns. */
     ArrivalLog _acks;

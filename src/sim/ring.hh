@@ -1,0 +1,309 @@
+/**
+ * @file
+ * RingBuffer: a contiguous circular double-ended queue.
+ *
+ * The shell's FIFOs (write buffer, message queue, prefetch queue, BLT
+ * completion list, remote-write window, get table) were std::deque,
+ * whose libstdc++ implementation eagerly allocates a map plus one
+ * 512-byte block per deque — two heap allocations per queue at
+ * construction, even when the queue is never touched. At 64K PEs the
+ * Machine holds hundreds of thousands of such queues and their
+ * construction/destruction dominates the run (gprof: ~40% of the 4K-PE
+ * EM3D case in Machine setup/teardown and _M_push_back_aux).
+ *
+ * RingBuffer allocates nothing until the first push, grows by
+ * power-of-two doubling, and keeps its storage on clear() so a queue
+ * that drains and refills every round reaches a steady state with
+ * zero allocator traffic. Indexing is mask-based; iterators are
+ * random-access so the sorted-insert call sites (message arrival
+ * order, BLT completion times) keep using std::upper_bound /
+ * std::lower_bound + insert().
+ */
+
+#ifndef T3DSIM_SIM_RING_HH
+#define T3DSIM_SIM_RING_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace t3dsim::sim
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    RingBuffer(const RingBuffer &other) { assignFrom(other); }
+
+    RingBuffer(RingBuffer &&other) noexcept
+        : _data(other._data), _cap(other._cap), _head(other._head),
+          _size(other._size)
+    {
+        other._data = nullptr;
+        other._cap = other._head = other._size = 0;
+    }
+
+    RingBuffer &
+    operator=(const RingBuffer &other)
+    {
+        if (this != &other) {
+            destroyAll();
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    RingBuffer &
+    operator=(RingBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            release();
+            _data = other._data;
+            _cap = other._cap;
+            _head = other._head;
+            _size = other._size;
+            other._data = nullptr;
+            other._cap = other._head = other._size = 0;
+        }
+        return *this;
+    }
+
+    ~RingBuffer()
+    {
+        destroyAll();
+        release();
+    }
+
+    bool empty() const { return _size == 0; }
+    std::size_t size() const { return _size; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return _data[(_head + i) & (_cap - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return _data[(_head + i) & (_cap - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[_size - 1]; }
+    const T &back() const { return (*this)[_size - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (_size == _cap)
+            grow();
+        T *slot = _data + ((_head + _size) & (_cap - 1));
+        std::construct_at(slot, std::forward<Args>(args)...);
+        ++_size;
+        return *slot;
+    }
+
+    void
+    push_front(const T &value)
+    {
+        if (_size == _cap)
+            grow();
+        _head = (_head + _cap - 1) & (_cap - 1);
+        std::construct_at(_data + _head, value);
+        ++_size;
+    }
+
+    void
+    pop_front()
+    {
+        T3D_ASSERT(_size != 0, "pop_front on an empty RingBuffer");
+        std::destroy_at(_data + _head);
+        _head = (_head + 1) & (_cap - 1);
+        --_size;
+    }
+
+    void
+    pop_back()
+    {
+        T3D_ASSERT(_size != 0, "pop_back on an empty RingBuffer");
+        std::destroy_at(_data + ((_head + _size - 1) & (_cap - 1)));
+        --_size;
+    }
+
+    /** Drop every element; capacity (and its allocation) is kept. */
+    void
+    clear()
+    {
+        destroyAll();
+        _head = 0;
+        _size = 0;
+    }
+
+    /** @name Random-access iteration (logical order, front to back) */
+    /// @{
+    template <typename Ring, typename Value>
+    class Iter
+    {
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = Value *;
+        using reference = Value &;
+
+        Iter() = default;
+        Iter(Ring *ring, std::size_t idx) : _ring(ring), _idx(idx) {}
+
+        /** iterator -> const_iterator. */
+        operator Iter<const RingBuffer, const T>() const
+        {
+            return {_ring, _idx};
+        }
+
+        reference operator*() const { return (*_ring)[_idx]; }
+        pointer operator->() const { return &(*_ring)[_idx]; }
+        reference operator[](difference_type n) const
+        {
+            return (*_ring)[_idx + n];
+        }
+
+        Iter &operator++() { ++_idx; return *this; }
+        Iter operator++(int) { Iter t = *this; ++_idx; return t; }
+        Iter &operator--() { --_idx; return *this; }
+        Iter operator--(int) { Iter t = *this; --_idx; return t; }
+        Iter &operator+=(difference_type n) { _idx += n; return *this; }
+        Iter &operator-=(difference_type n) { _idx -= n; return *this; }
+
+        friend Iter operator+(Iter it, difference_type n)
+        {
+            it += n;
+            return it;
+        }
+        friend Iter operator+(difference_type n, Iter it)
+        {
+            it += n;
+            return it;
+        }
+        friend Iter operator-(Iter it, difference_type n)
+        {
+            it -= n;
+            return it;
+        }
+        friend difference_type operator-(const Iter &a, const Iter &b)
+        {
+            return difference_type(a._idx) - difference_type(b._idx);
+        }
+
+        friend bool operator==(const Iter &a, const Iter &b)
+        {
+            return a._idx == b._idx;
+        }
+        friend auto operator<=>(const Iter &a, const Iter &b)
+        {
+            return a._idx <=> b._idx;
+        }
+
+        std::size_t index() const { return _idx; }
+
+      private:
+        Ring *_ring = nullptr;
+        std::size_t _idx = 0;
+    };
+
+    using iterator = Iter<RingBuffer, T>;
+    using const_iterator = Iter<const RingBuffer, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, _size}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, _size}; }
+    /// @}
+
+    /** Insert @p value before @p pos (for sorted insertion after
+     *  std::upper_bound / std::lower_bound). */
+    iterator
+    insert(iterator pos, const T &value)
+    {
+        const std::size_t at = pos.index();
+        push_back(value);
+        std::rotate(begin() + at, end() - 1, end());
+        return {this, at};
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t new_cap = _cap == 0 ? 8 : _cap * 2;
+        T *fresh = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t{
+                                                    alignof(T)}));
+        for (std::size_t i = 0; i < _size; ++i) {
+            T *src = _data + ((_head + i) & (_cap - 1));
+            std::construct_at(fresh + i, std::move(*src));
+            std::destroy_at(src);
+        }
+        release();
+        _data = fresh;
+        _cap = new_cap;
+        _head = 0;
+    }
+
+    void
+    destroyAll()
+    {
+        for (std::size_t i = 0; i < _size; ++i)
+            std::destroy_at(_data + ((_head + i) & (_cap - 1)));
+        _size = 0;
+    }
+
+    void
+    release()
+    {
+        if (_data)
+            ::operator delete(_data, std::align_val_t{alignof(T)});
+        _data = nullptr;
+        _cap = 0;
+        _head = 0;
+    }
+
+    void
+    assignFrom(const RingBuffer &other)
+    {
+        for (std::size_t i = 0; i < other._size; ++i)
+            push_back(other[i]);
+    }
+
+    T *_data = nullptr;
+    std::size_t _cap = 0; ///< always zero or a power of two
+    std::size_t _head = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace t3dsim::sim
+
+#endif // T3DSIM_SIM_RING_HH

@@ -131,6 +131,21 @@ struct SplitcConfig
      *      variable is set (benchmark baselines use this)
      */
     int hostThreads = 0;
+
+    /**
+     * Adaptive lookahead for the host-parallel scheduler (another
+     * pure host-side knob; simulated timing is bit-identical either
+     * way, pinned by tests/splitc/lookahead_test.cc). When on, a
+     * shard's window horizon widens from T + W to
+     * min(other nonempty shards' front keys) + W — sound because
+     * every cross-shard influence on the shard originates at or
+     * after some other shard's front and takes at least W to land
+     * (splitc/lookahead.hh). Comm-sparse phases then run many
+     * resumes per window instead of one per W cycles, and a shard
+     * that is the only one with work runs to its next park in a
+     * single window.
+     */
+    bool adaptiveLookahead = true;
 };
 
 } // namespace t3dsim::splitc

@@ -327,6 +327,10 @@ Scheduler::run(const ProgramFn &program)
     } hook_guard{*this};
     installHooks();
 
+    // BLT staging on this thread bumps into the scheduler's arena
+    // (workers of the parallel mainLoop install their shard's own).
+    sim::ScratchArenaInstall scratch_install(_scratchArena);
+
     _ready.clear();
     _ready.reserve(_slots.size());
     _pendingWakeups.clear();

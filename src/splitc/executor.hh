@@ -31,6 +31,7 @@
 
 #include "machine/machine.hh"
 #include "splitc/config.hh"
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::splitc
@@ -369,6 +370,12 @@ class Scheduler
     std::size_t _done = 0;
 
     bool _running = false;
+
+    /** Scratch arena installed on the running thread for the
+     *  duration of run() (BLT staging buffers; sim/arena.hh). The
+     *  parallel scheduler's workers install their own per-shard
+     *  arenas instead. */
+    sim::EventArena _scratchArena;
 };
 
 /**

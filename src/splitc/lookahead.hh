@@ -21,6 +21,18 @@
  * round-trip influence is value-based, not time-based — so the
  * parallel scheduler serializes them through a grant protocol
  * instead of relying on the lookahead (DESIGN.md §9).
+ *
+ * W also seeds the *adaptive* horizon
+ * (SplitcConfig::adaptiveLookahead): instead of the global T + W,
+ * shard i runs under H_i = W + min over the other nonempty shards'
+ * front keys. Every cross-shard influence on shard i originates at
+ * or after some other shard's front and takes at least W to land, so
+ * H_i is sound; and since the globally smallest front is "other" to
+ * every shard but its own, H_i >= T + W — adaptivity only ever
+ * widens. A shard alone with work gets an unbounded horizon and runs
+ * to its next park in one window, which is what makes the 1-thread
+ * ParallelScheduler overhead over the sequential scheduler small
+ * (bench_sim_speed records the ratio).
  */
 
 #ifndef T3DSIM_SPLITC_LOOKAHEAD_HH

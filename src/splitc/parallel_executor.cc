@@ -1,11 +1,13 @@
 #include "splitc/parallel_executor.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <tuple>
 
 #include "machine/node.hh"
+#include "probes/counters.hh"
 #include "splitc/lookahead.hh"
 #include "splitc/proc.hh"
 #include "sim/logging.hh"
@@ -35,14 +37,18 @@ ParallelScheduler::ParallelScheduler(machine::Machine &machine,
     : Scheduler(machine, config)
 {
     _window = conservativeLookahead(machine.config());
+    _adaptive = config.adaptiveLookahead;
 
     unsigned shards = std::max(1u, host_threads);
     shards = std::min<unsigned>(shards, machine.numPes());
-    // Observability instruments the transit path (torus route state,
-    // per-node counters, the trace sink) from whatever thread makes
-    // the access; those structures are single-threaded, so observed
-    // runs collapse to one worker. Timing is unaffected either way.
-    if (machine.countersEnabled() || machine.trace() != nullptr)
+    // Tracing instruments the transit path from whatever thread makes
+    // the access and the trace sink is single-threaded, so traced
+    // runs collapse to one worker. Counters stay multi-shard: the two
+    // cross-thread bump paths (per-requester channel timing on the
+    // destination node, torus route tallies) accumulate into
+    // shard-local batches flushed serially at the window merge
+    // (probes/batch.hh). Timing is unaffected either way.
+    if (machine.trace() != nullptr)
         shards = 1;
 
     T3D_ASSERT(machine.config().dcacheLineBytes <= 32,
@@ -339,11 +345,17 @@ void
 ParallelScheduler::RemoteProxy::bulkWriteRaw(Addr offset, const void *src,
                                              std::size_t len)
 {
-    DeferredOp &op = _sched->defer(*tlsShard,
-                                   DeferredOp::Kind::BulkWrite, _dst);
+    Shard &shard = *tlsShard;
+    DeferredOp &op = _sched->defer(shard, DeferredOp::Kind::BulkWrite,
+                                   _dst);
     op.offset = offset;
-    const auto *bytes = static_cast<const std::uint8_t *>(src);
-    op.bulk.assign(bytes, bytes + len);
+    // The payload lives in the shard's payload arena (not the scratch
+    // arena the caller may have a scope over) until the window merge
+    // applies the op and rewinds it.
+    std::uint8_t *buf = shard.payload.alloc(len);
+    std::memcpy(buf, src, len);
+    op.bulkData = buf;
+    op.bulkLen = len;
 }
 
 // ---------------------------------------------------------------------
@@ -384,10 +396,10 @@ ParallelScheduler::overlayPendingWrites(const Shard &shard, PeId dst,
             break;
           case DeferredOp::Kind::BulkWrite: {
             const Addr lo = std::max<Addr>(op.offset, offset);
-            const Addr hi = std::min<Addr>(op.offset + op.bulk.size(),
+            const Addr hi = std::min<Addr>(op.offset + op.bulkLen,
                                            offset + len);
             if (lo < hi) {
-                std::copy_n(op.bulk.data() + (lo - op.offset), hi - lo,
+                std::copy_n(op.bulkData + (lo - op.offset), hi - lo,
                             bytes + (lo - offset));
             }
             break;
@@ -453,6 +465,13 @@ void
 ParallelScheduler::workerMain(Shard &shard)
 {
     tlsShard = &shard;
+    // This thread's BLT staging comes from the shard's scratch arena;
+    // counter bumps that would cross threads batch into the shard's
+    // CounterBatch (only needed when counters are on and there is
+    // more than one shard — a lone shard's bumps never race).
+    sim::ScratchArenaInstall scratch_install(shard.scratch);
+    if (_machine.countersEnabled() && _shards.size() > 1)
+        probes::installCounterBatch(&shard.batch);
     while (true) {
         {
             std::unique_lock<std::mutex> lock(shard.m);
@@ -564,7 +583,7 @@ ParallelScheduler::applyOp(const DeferredOp &op)
                              op.cacheInval);
         break;
       case DeferredOp::Kind::BulkWrite:
-        node.bulkWriteRaw(op.offset, op.bulk.data(), op.bulk.size());
+        node.bulkWriteRaw(op.offset, op.bulkData, op.bulkLen);
         break;
       case DeferredOp::Kind::Message:
         node.serviceMessage(op.when, op.words.data());
@@ -642,7 +661,26 @@ ParallelScheduler::mergeWindow()
     for (auto &entry : _shards) {
         entry->outbox.clear();
         entry->outboxCursor = 0;
+        // Every deferred payload has been applied: drop them all
+        // (chunks are kept, so steady state allocates nothing).
+        entry->payload.rewindAll();
+        flushCounterBatch(entry->batch);
     }
+}
+
+void
+ParallelScheduler::flushCounterBatch(probes::CounterBatch &batch)
+{
+    for (const probes::ChannelDelta &cd : batch.channels) {
+        if (cd.target)
+            *cd.target += *cd.delta;
+        *cd.delta = probes::PerfCounters{};
+        *cd.registered = false;
+    }
+    batch.channels.clear();
+    for (const auto &[src, dst] : batch.routes)
+        _machine.recordDeferredRoute(src, dst);
+    batch.routes.clear();
 }
 
 void
@@ -659,6 +697,25 @@ ParallelScheduler::shutdownWorkers()
     }
 }
 
+Cycles
+ParallelScheduler::adaptiveHorizon(const Shard &shard) const
+{
+    // H_i = W + min over the *other* nonempty shards' front keys.
+    // Sound: every cross-shard influence on this shard originates at
+    // or after some other shard's front and takes at least W of
+    // simulated time to land; fronts only move up during a window, so
+    // the minimum taken here (window start) stays a lower bound. With
+    // no other shard nonempty there is no pending cross-shard
+    // influence at all and the horizon is unbounded.
+    Cycles other = NO_KEY;
+    for (const auto &entry : _shards) {
+        if (entry.get() == &shard || entry->heap.empty())
+            continue;
+        other = std::min(other, entry->heap.front().clock);
+    }
+    return other > NO_KEY - _window ? NO_KEY : other + _window;
+}
+
 void
 ParallelScheduler::mainLoop()
 {
@@ -668,6 +725,36 @@ ParallelScheduler::mainLoop()
         ~RouterGuard() { machine.setRemoteRouter(nullptr); }
     } router_guard{_machine};
     _machine.setRemoteRouter(this);
+
+    // Multi-shard counter runs redirect per-requester channel bumps
+    // into shard-local deltas (see probes/batch.hh); the mode comes
+    // off however we leave, restoring the channels for a later
+    // sequential run on the same machine.
+    const bool batch_counters =
+        _machine.countersEnabled() && _shards.size() > 1;
+    struct BatchGuard
+    {
+        ParallelScheduler &sched;
+        bool active;
+        ~BatchGuard()
+        {
+            if (!active)
+                return;
+            // Workers are joined by the time guards unwind (the
+            // WorkerGuard below is constructed after this one), so a
+            // final serial flush of anything an aborted window left
+            // behind is safe; disabling the mode then restores the
+            // channels' counter wiring.
+            for (auto &entry : sched._shards)
+                sched.flushCounterBatch(entry->batch);
+            for (PeId pe = 0; pe < sched._machine.numPes(); ++pe)
+                sched._machine.node(pe).setChannelCounterBatching(false);
+        }
+    } batch_guard{*this, batch_counters};
+    if (batch_counters) {
+        for (PeId pe = 0; pe < _machine.numPes(); ++pe)
+            _machine.node(pe).setChannelCounterBatching(true);
+    }
 
     for (auto &entry : _shards) {
         Shard *shard = entry.get();
@@ -697,14 +784,30 @@ ParallelScheduler::mainLoop()
         }
         if (t == NO_KEY)
             panicDeadlock(_done);
-        const Cycles horizon =
+        const Cycles base_horizon =
             t > NO_KEY - _window ? NO_KEY : t + _window;
 
+        // Fix every shard's horizon from the same window-start front
+        // snapshot before dispatching any of them: a dispatched
+        // worker immediately mutates its own heap, which
+        // adaptiveHorizon reads as "other" state for the remaining
+        // shards, so interleaving the two would race (and make the
+        // widening count host-timing dependent).
         for (auto &entry : _shards) {
+            // The adaptive horizon is never below the conservative
+            // one: the globally smallest front is "other" to every
+            // shard but its own, whose own front *is* the minimum.
+            const Cycles horizon =
+                _adaptive ? adaptiveHorizon(*entry) : base_horizon;
+            entry->plannedHorizon = horizon;
             entry->dispatched = !entry->heap.empty() &&
                                 entry->heap.front().clock < horizon;
+            if (entry->dispatched && horizon > base_horizon)
+                ++_lookaheadWidenings;
+        }
+        for (auto &entry : _shards) {
             if (entry->dispatched)
-                dispatch(*entry, horizon);
+                dispatch(*entry, entry->plannedHorizon);
         }
         for (auto &entry : _shards) {
             if (entry->dispatched)

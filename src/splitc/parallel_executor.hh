@@ -9,7 +9,18 @@
  *   1. (serial)   drain wake checks queued by the previous merge;
  *                 T = smallest ready key across all shard heaps;
  *                 horizon H = T + W where W is the conservative
- *                 lookahead (splitc/lookahead.hh).
+ *                 lookahead (splitc/lookahead.hh). With adaptive
+ *                 lookahead (SplitcConfig::adaptiveLookahead, the
+ *                 default) each shard i instead gets
+ *                 H_i = min over other nonempty shards' front keys
+ *                 + W: every cross-shard influence on shard i
+ *                 originates at or after some other shard's front
+ *                 and takes at least W to land, so H_i is still a
+ *                 sound horizon, and H_i >= T + W always (the
+ *                 globally smallest shard is "other" to everyone
+ *                 else). A shard that is the only one with work gets
+ *                 an unbounded horizon and runs to its next park in
+ *                 one window.
  *   2. (parallel) every shard with work under H resumes its own PEs
  *                 in (clock, pe) order while their keys are < H.
  *                 Effects that cross a shard boundary are not applied
@@ -48,8 +59,10 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "probes/batch.hh"
 #include "shell/ports.hh"
 #include "splitc/executor.hh"
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::splitc
@@ -65,9 +78,10 @@ class ParallelScheduler final : public Scheduler,
   public:
     /**
      * @param host_threads Worker threads to shard the PEs across
-     *        (>= 1; clamped to the PE count, and to 1 when
-     *        observability is on — the transit-path instrumentation
-     *        is not thread-safe).
+     *        (>= 1; clamped to the PE count, and to 1 when tracing
+     *        is on — the trace sink is single-threaded. Counters
+     *        stay multi-shard: cross-thread bump sites batch into
+     *        shard-local deltas flushed at the window merge).
      */
     ParallelScheduler(machine::Machine &machine, const SplitcConfig &config,
                       unsigned host_threads);
@@ -81,6 +95,15 @@ class ParallelScheduler final : public Scheduler,
 
     /** The conservative window width W, in simulated cycles. */
     Cycles lookahead() const { return _window; }
+
+    /**
+     * Windows in which a dispatched shard's adaptive horizon exceeded
+     * the conservative T + W (one count per such shard per window).
+     * Host-side statistic only — it varies with the shard count, so
+     * it is deliberately not a PerfCounters member (those are
+     * compared bit-exactly across scheduler configurations).
+     */
+    std::uint64_t lookaheadWidenings() const { return _lookaheadWidenings; }
 
     /** @name Scheduler seams (see executor.hh) */
     /// @{
@@ -136,7 +159,11 @@ class ParallelScheduler final : public Scheduler,
         bool cacheInval = false;
         std::array<std::uint64_t, 4> words{};
         std::array<std::uint8_t, 32> line{};
-        std::vector<std::uint8_t> bulk;
+
+        /** BulkWrite payload: a span into the issuing shard's payload
+         *  arena, valid until the window merge rewinds it. */
+        const std::uint8_t *bulkData = nullptr;
+        std::size_t bulkLen = 0;
     };
 
     /**
@@ -208,6 +235,22 @@ class ParallelScheduler final : public Scheduler,
         std::size_t doneDelta = 0;
         Cycles horizon = 0;
         bool dispatched = false;
+        /** Horizon chosen from the window-start front snapshot; the
+         *  controller fixes every shard's value before dispatching
+         *  any of them (a running worker mutates its own heap, so
+         *  adaptiveHorizon must not read live heaps). */
+        Cycles plannedHorizon = 0;
+
+        /** Deferred-op bulk payloads (bump-allocated; the controller
+         *  rewinds it after the merge applies the outbox). */
+        sim::EventArena payload;
+
+        /** BLT staging buffers (installed as the worker thread's
+         *  scratch arena; rewound per transfer by ArenaScope). */
+        sim::EventArena scratch;
+
+        /** Cross-thread counter bumps pending the serial flush. */
+        probes::CounterBatch batch;
         /// @}
 
         std::mutex m;
@@ -257,12 +300,26 @@ class ParallelScheduler final : public Scheduler,
     void applyOp(const DeferredOp &op);
     void grantAndWait(Shard &shard);
     void shutdownWorkers();
+
+    /** Serially add a shard's pending counter deltas into the real
+     *  per-node records and replay its deferred torus routes. */
+    void flushCounterBatch(probes::CounterBatch &batch);
+
+    /** Widened per-shard horizon: min(other nonempty shards' front
+     *  keys) + W, capped at NO_KEY (see SplitcConfig).  */
+    Cycles adaptiveHorizon(const Shard &shard) const;
     /// @}
 
     void noteError(std::exception_ptr error);
 
     /** Conservative lookahead window W. */
     Cycles _window = 1;
+
+    /** Adaptive per-shard horizons (SplitcConfig::adaptiveLookahead). */
+    bool _adaptive = false;
+
+    /** See lookaheadWidenings(). */
+    std::uint64_t _lookaheadWidenings = 0;
 
     /** PE -> owning shard index. */
     std::vector<std::uint32_t> _peShard;

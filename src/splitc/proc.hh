@@ -23,7 +23,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "splitc/config.hh"
 #include "splitc/executor.hh"
 #include "splitc/global_ptr.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace t3dsim::splitc
@@ -280,7 +280,7 @@ class Proc
 
     /** get: target local addresses, FIFO-parallel to the prefetch
      *  queue (§5.4). */
-    std::deque<Addr> _getTable;
+    sim::RingBuffer<Addr> _getTable;
 
     bool _putsOutstanding = false;
 

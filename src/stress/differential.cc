@@ -16,7 +16,7 @@ namespace
 
 /** Describe one run configuration for mismatch messages. */
 std::string
-runName(int host_threads, bool counters_on)
+runName(int host_threads, bool counters_on, bool adaptive = false)
 {
     std::ostringstream os;
     if (host_threads < 0)
@@ -24,6 +24,8 @@ runName(int host_threads, bool counters_on)
     else
         os << "parallel(" << host_threads << ")";
     os << (counters_on ? "/counters-on" : "/counters-off");
+    if (adaptive)
+        os << "/adaptive";
     return os.str();
 }
 
@@ -73,7 +75,8 @@ compare(const RunResult &ref, const RunResult &run,
 } // namespace
 
 RunResult
-runOnce(const Plan &plan, int host_threads, bool counters_on)
+runOnce(const Plan &plan, int host_threads, bool counters_on,
+        bool adaptive)
 {
     machine::MachineConfig mc =
         machine::MachineConfig::t3d(plan.cfg.pes);
@@ -82,6 +85,7 @@ runOnce(const Plan &plan, int host_threads, bool counters_on)
     machine::Machine m(mc);
     splitc::SplitcConfig scfg;
     scfg.hostThreads = host_threads;
+    scfg.adaptiveLookahead = adaptive;
     if (plan.cfg.amQueueSlots != 0)
         scfg.amQueueSlots = plan.cfg.amQueueSlots;
     if (plan.cfg.amOverflowSlots != 0)
@@ -98,7 +102,8 @@ runOnce(const Plan &plan, int host_threads, bool counters_on)
 
 SeedReport
 runDifferential(const StressConfig &cfg,
-                const std::vector<int> &thread_counts)
+                const std::vector<int> &thread_counts,
+                bool adaptive_legs)
 {
     const Plan plan = Plan::build(cfg);
 
@@ -116,6 +121,14 @@ runDifferential(const StressConfig &cfg,
                 runName(threads, true), report.mismatches);
         compare(report.reference, runOnce(plan, threads, false),
                 runName(threads, false), report.mismatches);
+        if (!adaptive_legs)
+            continue;
+        compare(report.reference,
+                runOnce(plan, threads, true, /*adaptive=*/true),
+                runName(threads, true, true), report.mismatches);
+        compare(report.reference,
+                runOnce(plan, threads, false, /*adaptive=*/true),
+                runName(threads, false, true), report.mismatches);
     }
 
     report.pass = report.mismatches.empty();

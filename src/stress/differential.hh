@@ -8,9 +8,14 @@
  *  - the sequential scheduler with counters off (observability must
  *    not move simulated time);
  *  - the host-parallel scheduler at each requested thread count,
- *    both with counters on (counter records must match exactly) and
- *    with counters off (the true multi-shard configuration — with
- *    counters on the parallel scheduler collapses to one shard).
+ *    both with counters on (counter records must match exactly —
+ *    counters-on runs are genuinely multi-shard: cross-thread bump
+ *    sites batch into shard-local deltas flushed per window) and
+ *    with counters off;
+ *  - optionally (adaptive_legs) the host-parallel scheduler again at
+ *    each thread count with adaptive lookahead on, counters on and
+ *    off — the widened per-shard horizons must not move a single
+ *    timestamp.
  *
  * Every run must reproduce the reference per-PE finish times and the
  * memory checksum bit-for-bit; counters-on runs must also reproduce
@@ -44,8 +49,11 @@ struct RunResult
  * Build a fresh Machine and execute @p plan once.
  * @param host_threads -1 sequential, N >= 1 parallel N threads.
  * @param counters_on request per-PE counters.
+ * @param adaptive enable adaptive lookahead (parallel runs only; the
+ *        base legs pin it off so both horizon policies stay covered).
  */
-RunResult runOnce(const Plan &plan, int host_threads, bool counters_on);
+RunResult runOnce(const Plan &plan, int host_threads, bool counters_on,
+                  bool adaptive = false);
 
 /** Differential verdict for one seed. */
 struct SeedReport
@@ -59,7 +67,8 @@ struct SeedReport
 
 /** Run the full differential matrix for one seed. */
 SeedReport runDifferential(const StressConfig &cfg,
-                           const std::vector<int> &thread_counts);
+                           const std::vector<int> &thread_counts,
+                           bool adaptive_legs = false);
 
 /**
  * The --saturate demo: a deliberately overloading program — an AM

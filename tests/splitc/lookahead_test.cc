@@ -7,6 +7,13 @@
  * another PE's wake-up machinery: signaling-store arrival, message
  * delivery, and barrier completion. (fetch&inc / swap are serialized
  * by the grant protocol, not bounded by W — see lookahead.hh.)
+ *
+ * The adaptive-horizon tests pin the second half of the contract:
+ * widening a shard's window to W past the other shards' front keys
+ * must never move a simulated timestamp (bit-identical to both the
+ * sequential reference and the fixed-horizon parallel runs), and a
+ * comm-sparse phase must actually widen (lookaheadWidenings() > 0) —
+ * otherwise the adaptive path is dead code.
  */
 
 #include <cstdint>
@@ -15,14 +22,23 @@
 #include <gtest/gtest.h>
 
 #include "machine/config.hh"
+#include "machine/machine.hh"
+#include "splitc/executor.hh"
 #include "splitc/lookahead.hh"
+#include "splitc/parallel_executor.hh"
+#include "splitc/proc.hh"
 
 namespace
 {
 
 using namespace t3dsim;
+using machine::Machine;
 using machine::MachineConfig;
 using splitc::conservativeLookahead;
+using splitc::GlobalAddr;
+using splitc::Proc;
+using splitc::ProcTask;
+using splitc::runSpmd;
 
 /** Every wake-capable cross-PE latency @p config can generate. */
 std::vector<Cycles>
@@ -104,6 +120,132 @@ TEST(Lookahead, TracksTheCheapestPath)
     config.shell.barrierLatencyCycles = 3;
     EXPECT_EQ(conservativeLookahead(config), 3u);
     expectConservative(config);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive lookahead (SplitcConfig::adaptiveLookahead)
+// ---------------------------------------------------------------------
+
+splitc::SplitcConfig
+schedConfig(int host_threads, bool adaptive)
+{
+    splitc::SplitcConfig cfg;
+    cfg.hostThreads = host_threads;
+    cfg.adaptiveLookahead = adaptive;
+    return cfg;
+}
+
+/**
+ * A program with both horizon regimes on the critical path: a
+ * comm-sparse stretch of skewed pure compute (where the adaptive
+ * horizon should run far past T + W) followed by a comm-dense ghost
+ * exchange (where the other shards' fronts pin the horizon near the
+ * conservative one).
+ */
+std::vector<Cycles>
+runMixedPhases(std::uint32_t pes, const splitc::SplitcConfig &cfg)
+{
+    Machine m(MachineConfig::t3d(pes));
+    constexpr Addr ghostBase = 0x50000;
+
+    return runSpmd(m, [&](Proc &p) -> ProcTask {
+        for (int round = 0; round < 3; ++round) {
+            p.compute((p.procs() - p.pe()) * 211 + round * 17);
+            co_await p.barrier();
+        }
+        for (int it = 0; it < 3; ++it) {
+            const PeId dst = (p.pe() + 1) % p.procs();
+            p.storeU64(GlobalAddr::make(dst, ghostBase + Addr(it) * 8),
+                       (std::uint64_t(p.pe()) << 16) ^
+                           std::uint64_t(it));
+            co_await p.storeSync(8);
+            p.compute(20 + (p.pe() % 3) * 9);
+            co_await p.barrier();
+        }
+        co_return;
+    }, cfg);
+}
+
+TEST(Lookahead, AdaptiveTimingMatchesSequential)
+{
+    // Adaptivity on and off must both reproduce the sequential
+    // reference bit-identically at every thread count.
+    for (std::uint32_t pes : {8u, 16u}) {
+        const auto seq = runMixedPhases(pes, schedConfig(-1, false));
+        ASSERT_EQ(seq.size(), pes);
+        for (int threads : {1, 2, 4, 8}) {
+            EXPECT_EQ(runMixedPhases(pes, schedConfig(threads, true)),
+                      seq)
+                << pes << " PEs, " << threads
+                << " host threads, adaptive on";
+            EXPECT_EQ(runMixedPhases(pes, schedConfig(threads, false)),
+                      seq)
+                << pes << " PEs, " << threads
+                << " host threads, adaptive off";
+        }
+    }
+}
+
+TEST(Lookahead, CommSparsePhaseWidensWindows)
+{
+    // A producer staggers two store wake-ups ~400 cycles apart, so
+    // at the next window boundary the early consumer's shard holds
+    // the unique globally-minimal front: its adaptive horizon is
+    // pinned by the *late* consumer's front and must exceed T + W —
+    // deterministically, since horizons come from the window-start
+    // front snapshot — and still not move a single timestamp.
+    // (16 PEs over 4 shards: PE 0 -> shard 0, PE 4 -> shard 1,
+    // PE 8 -> shard 2.)
+    constexpr Addr flagBase = 0x50000;
+    const auto program = [](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.compute(400);
+            p.storeU64(GlobalAddr::make(4, flagBase), 0x11);
+            p.compute(400);
+            p.storeU64(GlobalAddr::make(8, flagBase), 0x22);
+        } else if (p.pe() == 4 || p.pe() == 8) {
+            co_await p.storeSync(8);
+            p.compute(25);
+        }
+        co_return;
+    };
+
+    std::vector<Cycles> fixed_times;
+    {
+        Machine m(MachineConfig::t3d(16));
+        splitc::ParallelScheduler sched(m, schedConfig(4, false), 4);
+        fixed_times = sched.run(program);
+        EXPECT_EQ(sched.lookaheadWidenings(), 0u)
+            << "fixed horizons must never count as widened";
+    }
+    {
+        Machine m(MachineConfig::t3d(16));
+        splitc::ParallelScheduler sched(m, schedConfig(4, true), 4);
+        const auto adaptive_times = sched.run(program);
+        EXPECT_GT(sched.lookaheadWidenings(), 0u)
+            << "comm-sparse phase never widened a window";
+        EXPECT_EQ(adaptive_times, fixed_times);
+    }
+}
+
+TEST(Lookahead, SoloShardRunsUnbounded)
+{
+    // One shard owning every PE has no "other" front to bound it:
+    // with adaptivity on, every dispatched window is widened and the
+    // run needs only a handful of windows (this is what keeps the
+    // 1-thread ParallelScheduler overhead near the sequential
+    // scheduler's cost; bench_sim_speed records the ratio).
+    Machine m(MachineConfig::t3d(8));
+    splitc::ParallelScheduler sched(m, schedConfig(1, true), 1);
+    const auto times = sched.run([](Proc &p) -> ProcTask {
+        for (int round = 0; round < 3; ++round) {
+            p.compute(100 + p.pe() * 11);
+            co_await p.barrier();
+        }
+        co_return;
+    });
+    ASSERT_EQ(times.size(), 8u);
+    EXPECT_GT(sched.lookaheadWidenings(), 0u);
 }
 
 } // namespace
