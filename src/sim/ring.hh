@@ -86,15 +86,27 @@ class RingBuffer
     bool empty() const { return _size == 0; }
     std::size_t size() const { return _size; }
 
+    // The accessors are the shell's hottest loads, so their
+    // bounds/empty guards (which also cover front()/back() and the
+    // null _data of a never-grown buffer) compile out of release
+    // builds; pop_front/pop_back stay guarded unconditionally.
     T &
     operator[](std::size_t i)
     {
+#ifndef NDEBUG
+        T3D_ASSERT(i < _size, "RingBuffer index ", i,
+                   " out of range (size ", _size, ")");
+#endif
         return _data[(_head + i) & (_cap - 1)];
     }
 
     const T &
     operator[](std::size_t i) const
     {
+#ifndef NDEBUG
+        T3D_ASSERT(i < _size, "RingBuffer index ", i,
+                   " out of range (size ", _size, ")");
+#endif
         return _data[(_head + i) & (_cap - 1)];
     }
 
@@ -249,7 +261,15 @@ class RingBuffer
     insert(iterator pos, const T &value)
     {
         const std::size_t at = pos.index();
-        push_back(value);
+        if (_size == _cap) {
+            // grow() reallocates before the copy, so a @p value that
+            // aliases this buffer (self-insert) would dangle; detach
+            // it first. The non-growing path copies straight in.
+            T detached = value;
+            push_back(std::move(detached));
+        } else {
+            push_back(value);
+        }
         std::rotate(begin() + at, end() - 1, end());
         return {this, at};
     }

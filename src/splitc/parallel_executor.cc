@@ -174,6 +174,8 @@ ParallelScheduler::recordStoreArrival(PeId dst, Cycles when,
         op.amount = bytes;
         return;
     }
+    if (shard && shard->grantedMode && _peShard[dst] != shard->index)
+        checkArrivalAboveFrontier(dst, when);
     Scheduler::recordStoreArrival(dst, when, bytes);
 }
 
@@ -188,6 +190,8 @@ ParallelScheduler::recordAmArrival(PeId dst, Cycles when,
         op.amount = count;
         return;
     }
+    if (shard && shard->grantedMode && _peShard[dst] != shard->index)
+        checkArrivalAboveFrontier(dst, when);
     Scheduler::recordAmArrival(dst, when, count);
 }
 
@@ -447,6 +451,8 @@ ParallelScheduler::runWindow(Shard &shard)
         shard.heap.pop_back();
 
         shard.currentKey = top;
+        if (top.clock > shard.executedFrontier)
+            shard.executedFrontier = top.clock;
         const bool finished = resumeSlot(top.pe);
         shard.grantedMode = false;
         if (finished) {
@@ -574,8 +580,34 @@ ParallelScheduler::grantAndWait(Shard &shard)
 }
 
 void
+ParallelScheduler::checkArrivalAboveFrontier(PeId dst, Cycles when) const
+{
+    // The lookahead soundness argument (conservative or adaptive, see
+    // adaptiveHorizon) promises that every time-stamped cross-shard
+    // arrival lands at or above what the receiving shard has already
+    // executed; a violation means some PE ran past a store/message
+    // wake it should have seen. Fail loudly here instead of silently
+    // diverging from the sequential reference. Checked at merge-time
+    // application and on granted resumes' direct records (reading the
+    // destination's frontier is safe in both: every other shard is
+    // parked, with the park/dispatch mutex handshakes ordering the
+    // accesses).
+    const Shard &dst_shard = *_shards[_peShard[dst]];
+    T3D_ASSERT(when >= dst_shard.executedFrontier,
+               "cross-shard arrival at PE ", dst, " time ", when,
+               " lands below its shard's executed frontier ",
+               dst_shard.executedFrontier, " — lookahead horizon unsound");
+}
+
+void
 ParallelScheduler::applyOp(const DeferredOp &op)
 {
+    if (op.kind == DeferredOp::Kind::Message ||
+        op.kind == DeferredOp::Kind::StoreArrival ||
+        op.kind == DeferredOp::Kind::AmArrival) {
+        checkArrivalAboveFrontier(op.dst, op.when);
+    }
+
     machine::Node &node = _machine.node(op.dst);
     switch (op.kind) {
       case DeferredOp::Kind::MaskedLine:
@@ -700,20 +732,48 @@ ParallelScheduler::shutdownWorkers()
 Cycles
 ParallelScheduler::adaptiveHorizon(const Shard &shard) const
 {
-    // H_i = W + min over the *other* nonempty shards' front keys.
-    // Sound: every cross-shard influence on this shard originates at
-    // or after some other shard's front and takes at least W of
-    // simulated time to land; fronts only move up during a window, so
-    // the minimum taken here (window start) stays a lower bound. With
-    // no other shard nonempty there is no pending cross-shard
-    // influence at all and the horizon is unbounded.
+    // H_i = min(W + min over the *other* nonempty shards' front keys,
+    //           F_i + 2W), F_i this shard's own front.
+    //
+    // The first leg bounds one-hop influence that exists at the
+    // window-start snapshot: it originates at or after some other
+    // shard's front and takes at least W of simulated time to land.
+    // It is NOT sound on its own, because in-window sends create
+    // influence below the snapshot fronts: a store this shard issues
+    // at F_i wakes a peer PE at >= F_i + W whose reply lands back
+    // here at >= F_i + 2W — running past that point would read
+    // memory the reflection should already have written. The second
+    // leg caps the horizon below every such reflection.
+    //
+    // Soundness of the pair, by induction on hop count: H_i <= F_j +
+    // W for every other nonempty shard j (first leg), so snapshot
+    // effects land at >= F_j + W >= H_i; and H_i <= T + 2W <= H_j +
+    // W (T the global minimum front; if T = F_i the cap gives H_i <=
+    // T + 2W, otherwise the holder of T is "other" and the first leg
+    // gives H_i <= T + W), so a reply to an in-window arrival —
+    // which by induction reached shard j at >= H_j — lands here at
+    // >= H_j + W >= H_i. Atomics are exempt: they serialize through
+    // the grant protocol at their exact key.
+    //
+    // Only a lone shard gets an unbounded horizon: with no other
+    // shard in existence there are no cross-shard sends at all, so
+    // it can run to its next park in one window.
+    if (_shards.size() == 1)
+        return NO_KEY;
     Cycles other = NO_KEY;
     for (const auto &entry : _shards) {
         if (entry.get() == &shard || entry->heap.empty())
             continue;
         other = std::min(other, entry->heap.front().clock);
     }
-    return other > NO_KEY - _window ? NO_KEY : other + _window;
+    const Cycles h_other =
+        other > NO_KEY - _window ? NO_KEY : other + _window;
+    if (shard.heap.empty())
+        return h_other; // never dispatched; value is bookkeeping only
+    const Cycles own = shard.heap.front().clock;
+    const Cycles two_w = _window > NO_KEY / 2 ? NO_KEY : 2 * _window;
+    const Cycles h_own = own > NO_KEY - two_w ? NO_KEY : own + two_w;
+    return std::min(h_other, h_own);
 }
 
 void
@@ -756,15 +816,19 @@ ParallelScheduler::mainLoop()
             _machine.node(pe).setChannelCounterBatching(true);
     }
 
-    for (auto &entry : _shards) {
-        Shard *shard = entry.get();
-        shard->thread = std::thread([this, shard] { workerMain(*shard); });
-    }
+    // The guard goes up before the first spawn: if a std::thread
+    // constructor throws mid-loop, the workers already running must
+    // be joined on the unwind path before BatchGuard above flushes
+    // their batches (shutdownWorkers skips never-started threads).
     struct WorkerGuard
     {
         ParallelScheduler &sched;
         ~WorkerGuard() { sched.shutdownWorkers(); }
     } worker_guard{*this};
+    for (auto &entry : _shards) {
+        Shard *shard = entry.get();
+        shard->thread = std::thread([this, shard] { workerMain(*shard); });
+    }
 
     while (true) {
         // Serial pre-window step: wake checks queued by the previous

@@ -12,15 +12,20 @@
  *                 lookahead (splitc/lookahead.hh). With adaptive
  *                 lookahead (SplitcConfig::adaptiveLookahead, the
  *                 default) each shard i instead gets
- *                 H_i = min over other nonempty shards' front keys
- *                 + W: every cross-shard influence on shard i
- *                 originates at or after some other shard's front
- *                 and takes at least W to land, so H_i is still a
- *                 sound horizon, and H_i >= T + W always (the
+ *                 H_i = min(min over other nonempty shards' front
+ *                 keys + W, F_i + 2W) where F_i is its own front:
+ *                 snapshot-time influence on shard i originates at
+ *                 or after some other shard's front and takes at
+ *                 least W to land, and influence created *inside*
+ *                 the window (a send from shard i reflecting off a
+ *                 peer back to i) lands at >= F_i + 2W, so H_i is a
+ *                 sound horizon (see adaptiveHorizon for the hop-
+ *                 count induction), and H_i >= T + W always (the
  *                 globally smallest shard is "other" to everyone
- *                 else). A shard that is the only one with work gets
- *                 an unbounded horizon and runs to its next park in
- *                 one window.
+ *                 else, and F_i + 2W >= T + 2W when F_i = T). Only
+ *                 when there is a single shard — no cross-shard
+ *                 sends at all — is the horizon unbounded, running
+ *                 it to its next park in one window.
  *   2. (parallel) every shard with work under H resumes its own PEs
  *                 in (clock, pe) order while their keys are < H.
  *                 Effects that cross a shard boundary are not applied
@@ -241,6 +246,14 @@ class ParallelScheduler final : public Scheduler,
          *  adaptiveHorizon must not read live heaps). */
         Cycles plannedHorizon = 0;
 
+        /** Largest resume-start key this shard has executed, over the
+         *  whole run. Diagnostic for the lookahead soundness
+         *  argument: every cross-shard arrival must land at or above
+         *  it (asserted at merge-time application), so a horizon bug
+         *  fails loudly instead of silently diverging from the
+         *  sequential reference. */
+        Cycles executedFrontier = 0;
+
         /** Deferred-op bulk payloads (bump-allocated; the controller
          *  rewinds it after the merge applies the outbox). */
         sim::EventArena payload;
@@ -305,8 +318,14 @@ class ParallelScheduler final : public Scheduler,
      *  per-node records and replay its deferred torus routes. */
     void flushCounterBatch(probes::CounterBatch &batch);
 
+    /** Lookahead-soundness diagnostic: panic if a time-stamped
+     *  arrival lands below the receiving shard's executed frontier
+     *  (see Shard::executedFrontier). */
+    void checkArrivalAboveFrontier(PeId dst, Cycles when) const;
+
     /** Widened per-shard horizon: min(other nonempty shards' front
-     *  keys) + W, capped at NO_KEY (see SplitcConfig).  */
+     *  keys + W, own front + 2W), capped at NO_KEY; unbounded only
+     *  for a lone shard (see SplitcConfig).  */
     Cycles adaptiveHorizon(const Shard &shard) const;
     /// @}
 

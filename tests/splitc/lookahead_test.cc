@@ -16,6 +16,7 @@
  * otherwise the adaptive path is dead code.
  */
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -225,6 +226,75 @@ TEST(Lookahead, CommSparsePhaseWidensWindows)
         EXPECT_GT(sched.lookaheadWidenings(), 0u)
             << "comm-sparse phase never widened a window";
         EXPECT_EQ(adaptive_times, fixed_times);
+    }
+}
+
+TEST(Lookahead, TwoHopReflectionStaysSequential)
+{
+    // A shard's own in-window send can wake a peer whose reply lands
+    // back *below* where an over-wide horizon would let the shard
+    // run: the send at F reaches the peer at >= F + W and the reply
+    // returns at >= F + 2W. Regression for the adaptive horizon's
+    // F_i + 2W cap: PE 0 kicks a consumer on the other shard, then
+    // ping-pongs with its shard sibling PE 1 while polling for the
+    // consumer's Active-Message reply. PE 3 retires immediately and
+    // the consumer parks waiting for the kick, so the other shard's
+    // heap is empty at the critical window — an unbounded "no other
+    // front" horizon would run the entire poll loop before the reply
+    // exists, dispatching the AM in the wrong round (or never) and
+    // shifting PE 0's finish time. (4 PEs over 2 shards: PEs 0-1 on
+    // shard 0, PEs 2-3 on shard 1.)
+    constexpr Addr kickAddr = 0x50000;
+    constexpr Addr pongAddr = 0x50100;
+    constexpr std::uint64_t tagReply = 77;
+    constexpr int rounds = 40;
+
+    std::uint64_t handled = 0;
+    const auto program = [&](Proc &p) -> ProcTask {
+        if (p.pe() == 0) {
+            p.registerAmHandler(
+                tagReply,
+                [&](Proc &, const std::array<std::uint64_t, 4> &) {
+                    ++handled;
+                });
+            for (int r = 0; r < rounds; ++r) {
+                // The kick goes out mid-loop, after the other shard
+                // has drained (PE 2 parked on it, PE 3 retired) — an
+                // unbounded horizon would already be running this
+                // whole loop in one window by then.
+                if (r == 10)
+                    p.storeU64(GlobalAddr::make(2, kickAddr), 0x11);
+                p.compute(60);
+                p.storeU64(GlobalAddr::make(1, pongAddr), 1);
+                co_await p.storeSync(8);
+                p.amPoll();
+            }
+        } else if (p.pe() == 1) {
+            for (int r = 0; r < rounds; ++r) {
+                co_await p.storeSync(8);
+                p.storeU64(GlobalAddr::make(0, pongAddr), 1);
+            }
+        } else if (p.pe() == 2) {
+            co_await p.storeSync(8);
+            p.amDeposit(0, tagReply, {1, 0, 0, 0});
+        }
+        co_return;
+    };
+
+    Machine seq_m(MachineConfig::t3d(4));
+    const auto seq = runSpmd(seq_m, program, schedConfig(-1, false));
+    const std::uint64_t seq_handled = handled;
+    EXPECT_EQ(seq_handled, 1u) << "the reply AM must dispatch in-loop";
+
+    for (int threads : {2, 4}) {
+        Machine m(MachineConfig::t3d(4));
+        handled = 0;
+        splitc::ParallelScheduler sched(m, schedConfig(threads, true),
+                                        threads);
+        EXPECT_EQ(sched.run(program), seq)
+            << threads << " host threads, adaptive on";
+        EXPECT_EQ(handled, seq_handled)
+            << threads << " host threads, adaptive on";
     }
 }
 
