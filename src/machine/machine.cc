@@ -55,29 +55,36 @@ Machine::observeTransit(PeId src, PeId dst) const
         // state, so the route defers to the serial window flush.
         // torusHops goes to the source node's record, which only the
         // source's own thread ever bumps (transits are charged on the
-        // requester's path), so it stays direct. Tracing forces a
-        // single shard, so no batch is installed on traced runs and
-        // the branch below still sees every route as it happens.
+        // requester's path), so it stays direct. Traced runs capture
+        // the source clock here so the flush can stamp the replayed
+        // torus counter samples with the observation-time clock
+        // rather than the (later) merge-time one.
         if (_countersOn)
             _nodes[src]->counters().torusHops += _torus.hops(src, dst);
-        batch->routes.emplace_back(src, dst);
+        batch->routes.push_back(
+            {src, dst, _trace ? _nodes[src]->clock().now() : Cycles{0}});
         return;
     }
-    const std::array<std::uint64_t, 3> before = _torus.dimTraversals();
-    _torus.recordRoute(src, dst);
-
     if (_countersOn)
         _nodes[src]->counters().torusHops += _torus.hops(src, dst);
+    recordDeferredRoute(src, dst,
+                        _trace ? _nodes[src]->clock().now() : Cycles{0});
+}
+
+void
+Machine::recordDeferredRoute(PeId src, PeId dst, Cycles when) const
+{
+    const std::array<std::uint64_t, 3> before = _torus.dimTraversals();
+    _torus.recordRoute(src, dst);
 
     if (_trace) {
         static const char *const tracks[3] = {"torus.x", "torus.y",
                                               "torus.z"};
         const std::array<std::uint64_t, 3> &after =
             _torus.dimTraversals();
-        const Cycles now = _nodes[src]->clock().now();
         for (unsigned d = 0; d < 3; ++d) {
             if (after[d] != before[d])
-                _trace->counter(tracks[d], now, after[d]);
+                _trace->counter(tracks[d], when, after[d]);
         }
     }
 }

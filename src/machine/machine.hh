@@ -80,13 +80,11 @@ class Machine : public shell::MachinePort
     /**
      * Replay one route recording that observeTransit deferred into a
      * shard's CounterBatch (probes/batch.hh). Serial phases only —
-     * mutates the machine-wide torus tallies.
+     * mutates the machine-wide torus tallies and, on traced runs,
+     * emits the per-dimension torus counter samples stamped with
+     * @p when (the source clock captured at observation time).
      */
-    void
-    recordDeferredRoute(PeId src, PeId dst) const
-    {
-        _torus.recordRoute(src, dst);
-    }
+    void recordDeferredRoute(PeId src, PeId dst, Cycles when) const;
 
     /** @name Observability (see docs/OBSERVABILITY.md) */
     /// @{

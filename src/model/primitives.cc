@@ -434,4 +434,26 @@ readModelJson(const Json &doc, CostModel &model, std::string *error)
     return true;
 }
 
+bool
+loadCostModelFile(const std::string &path, CostModel &model,
+                  std::string &error)
+{
+    if (path.empty()) {
+        model = defaultCostModel();
+        error.clear();
+        return true;
+    }
+    std::string parse_err;
+    const Json doc = Json::parseFile(path, &parse_err);
+    if (!parse_err.empty()) {
+        error = path + ": " + parse_err;
+        return false;
+    }
+    if (!readModelJson(doc, model, &error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
 } // namespace t3dsim::model

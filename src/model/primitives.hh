@@ -132,6 +132,16 @@ void writeModelJson(std::ostream &os, const CostModel &model);
 bool readModelJson(const Json &doc, CostModel &model,
                    std::string *error);
 
+/**
+ * The serving fast path's model entry (docs/TASKGRAPH.md): load a
+ * fitted t3dsim-model-v1 file from @p path, or fall back to
+ * defaultCostModel() when @p path is empty. False + @p error when a
+ * named file is missing or malformed — a server must fail loudly
+ * rather than silently serve assumed coefficients.
+ */
+bool loadCostModelFile(const std::string &path, CostModel &model,
+                       std::string &error);
+
 } // namespace t3dsim::model
 
 #endif // T3DSIM_MODEL_PRIMITIVES_HH

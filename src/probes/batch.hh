@@ -15,7 +15,8 @@
  * Both are pure commutative sums, so the fix is accumulation, not
  * locking: each channel redirects its bumps into a channel-local
  * delta record registered with the touching shard's CounterBatch, and
- * each transit appends its (src, dst) route pair. The controller
+ * each transit appends a DeferredRoute (its (src, dst) pair plus, on
+ * traced runs, the source clock for replayed samples). The controller
  * flushes every shard's batch once per window, serially, inside the
  * existing merge barrier — adding deltas into the real per-node
  * records and replaying routes into the torus tallies. Counter bumps
@@ -53,6 +54,20 @@ struct ChannelDelta
     bool *registered = nullptr;
 };
 
+/** One Machine::observeTransit route recording, deferred to the
+ *  serial window flush. */
+struct DeferredRoute
+{
+    PeId src = 0;
+    PeId dst = 0;
+
+    /** Source-PE clock at observation time. Meaningful only on traced
+     *  runs: the replayed torus counter samples are stamped with it,
+     *  so a deferred route traces at the same simulated time as a
+     *  direct one. Zero when tracing is off. */
+    Cycles when = 0;
+};
+
 /**
  * One shard's per-window batch. Owned by the shard; written only by
  * its worker thread while running, drained only by the controller at
@@ -65,7 +80,7 @@ struct CounterBatch
     std::vector<ChannelDelta> channels;
 
     /** Deferred Machine::observeTransit route recordings. */
-    std::vector<std::pair<PeId, PeId>> routes;
+    std::vector<DeferredRoute> routes;
 };
 
 namespace detail

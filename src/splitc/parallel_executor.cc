@@ -41,15 +41,13 @@ ParallelScheduler::ParallelScheduler(machine::Machine &machine,
 
     unsigned shards = std::max(1u, host_threads);
     shards = std::min<unsigned>(shards, machine.numPes());
-    // Tracing instruments the transit path from whatever thread makes
-    // the access and the trace sink is single-threaded, so traced
-    // runs collapse to one worker. Counters stay multi-shard: the two
-    // cross-thread bump paths (per-requester channel timing on the
-    // destination node, torus route tallies) accumulate into
-    // shard-local batches flushed serially at the window merge
-    // (probes/batch.hh). Timing is unaffected either way.
-    if (machine.trace() != nullptr)
-        shards = 1;
+    // Observability stays multi-shard: cross-thread counter bumps
+    // (per-requester channel timing on the destination node, torus
+    // route tallies) accumulate into shard-local CounterBatches, and
+    // trace events recorded from shard threads accumulate into
+    // shard-local TraceSink::Batches; both flush serially at the
+    // window merge (probes/batch.hh, probes/trace.hh). Recording
+    // never advances a clock, so timing is unaffected either way.
 
     T3D_ASSERT(machine.config().dcacheLineBytes <= 32,
                "deferred line buffer holds at most 32 bytes, got line of ",
@@ -472,12 +470,17 @@ ParallelScheduler::workerMain(Shard &shard)
 {
     tlsShard = &shard;
     // This thread's BLT staging comes from the shard's scratch arena;
-    // counter bumps that would cross threads batch into the shard's
-    // CounterBatch (only needed when counters are on and there is
-    // more than one shard — a lone shard's bumps never race).
+    // counter bumps and trace events that would cross threads batch
+    // into the shard's CounterBatch / TraceSink::Batch (only needed
+    // when the respective sink is live and there is more than one
+    // shard — a lone shard's recordings never race).
     sim::ScratchArenaInstall scratch_install(shard.scratch);
-    if (_machine.countersEnabled() && _shards.size() > 1)
-        probes::installCounterBatch(&shard.batch);
+    if (_shards.size() > 1) {
+        if (_machine.countersEnabled() || _machine.trace() != nullptr)
+            probes::installCounterBatch(&shard.batch);
+        if (_machine.trace() != nullptr)
+            probes::TraceSink::installBatch(&shard.traceBatch);
+    }
     while (true) {
         {
             std::unique_lock<std::mutex> lock(shard.m);
@@ -696,13 +699,14 @@ ParallelScheduler::mergeWindow()
         // Every deferred payload has been applied: drop them all
         // (chunks are kept, so steady state allocates nothing).
         entry->payload.rewindAll();
-        flushCounterBatch(entry->batch);
+        flushObservabilityBatches(*entry);
     }
 }
 
 void
-ParallelScheduler::flushCounterBatch(probes::CounterBatch &batch)
+ParallelScheduler::flushObservabilityBatches(Shard &shard)
 {
+    probes::CounterBatch &batch = shard.batch;
     for (const probes::ChannelDelta &cd : batch.channels) {
         if (cd.target)
             *cd.target += *cd.delta;
@@ -710,9 +714,11 @@ ParallelScheduler::flushCounterBatch(probes::CounterBatch &batch)
         *cd.registered = false;
     }
     batch.channels.clear();
-    for (const auto &[src, dst] : batch.routes)
-        _machine.recordDeferredRoute(src, dst);
+    for (const auto &[src, dst, when] : batch.routes)
+        _machine.recordDeferredRoute(src, dst, when);
     batch.routes.clear();
+    if (probes::TraceSink *trace = _machine.trace())
+        trace->flush(shard.traceBatch);
 }
 
 void
@@ -789,12 +795,18 @@ ParallelScheduler::mainLoop()
     // Multi-shard counter runs redirect per-requester channel bumps
     // into shard-local deltas (see probes/batch.hh); the mode comes
     // off however we leave, restoring the channels for a later
-    // sequential run on the same machine.
+    // sequential run on the same machine. Traced multi-shard runs
+    // also get a final batch flush so no shard-buffered events are
+    // lost on an abort path.
     const bool batch_counters =
         _machine.countersEnabled() && _shards.size() > 1;
+    const bool batch_obs =
+        (_machine.countersEnabled() || _machine.trace() != nullptr) &&
+        _shards.size() > 1;
     struct BatchGuard
     {
         ParallelScheduler &sched;
+        bool channels;
         bool active;
         ~BatchGuard()
         {
@@ -806,11 +818,13 @@ ParallelScheduler::mainLoop()
             // behind is safe; disabling the mode then restores the
             // channels' counter wiring.
             for (auto &entry : sched._shards)
-                sched.flushCounterBatch(entry->batch);
+                sched.flushObservabilityBatches(*entry);
+            if (!channels)
+                return;
             for (PeId pe = 0; pe < sched._machine.numPes(); ++pe)
                 sched._machine.node(pe).setChannelCounterBatching(false);
         }
-    } batch_guard{*this, batch_counters};
+    } batch_guard{*this, batch_counters, batch_obs};
     if (batch_counters) {
         for (PeId pe = 0; pe < _machine.numPes(); ++pe)
             _machine.node(pe).setChannelCounterBatching(true);

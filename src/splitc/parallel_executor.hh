@@ -65,6 +65,7 @@
 
 #include "machine/machine.hh"
 #include "probes/batch.hh"
+#include "probes/trace.hh"
 #include "shell/ports.hh"
 #include "splitc/executor.hh"
 #include "sim/arena.hh"
@@ -83,10 +84,10 @@ class ParallelScheduler final : public Scheduler,
   public:
     /**
      * @param host_threads Worker threads to shard the PEs across
-     *        (>= 1; clamped to the PE count, and to 1 when tracing
-     *        is on — the trace sink is single-threaded. Counters
-     *        stay multi-shard: cross-thread bump sites batch into
-     *        shard-local deltas flushed at the window merge).
+     *        (>= 1; clamped to the PE count). Observability stays
+     *        multi-shard: cross-thread counter bumps and trace
+     *        events batch into shard-local buffers flushed serially
+     *        at the window merge.
      */
     ParallelScheduler(machine::Machine &machine, const SplitcConfig &config,
                       unsigned host_threads);
@@ -264,6 +265,10 @@ class ParallelScheduler final : public Scheduler,
 
         /** Cross-thread counter bumps pending the serial flush. */
         probes::CounterBatch batch;
+
+        /** Trace events recorded by this shard's thread, pending the
+         *  serial flush into the machine-wide sink. */
+        probes::TraceSink::Batch traceBatch;
         /// @}
 
         std::mutex m;
@@ -315,8 +320,9 @@ class ParallelScheduler final : public Scheduler,
     void shutdownWorkers();
 
     /** Serially add a shard's pending counter deltas into the real
-     *  per-node records and replay its deferred torus routes. */
-    void flushCounterBatch(probes::CounterBatch &batch);
+     *  per-node records, replay its deferred torus routes, and drain
+     *  its trace-event buffer into the machine-wide sink. */
+    void flushObservabilityBatches(Shard &shard);
 
     /** Lookahead-soundness diagnostic: panic if a time-stamped
      *  arrival lands below the receiving shard's executed frontier

@@ -1,0 +1,173 @@
+#include "taskgraph/lower.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace t3dsim::taskgraph
+{
+
+namespace
+{
+
+/** Task-graph data lives above the splitc allocator's arena so a
+ *  program can still allocLocal without colliding. */
+constexpr Addr kLayoutBase = 1 * MiB;
+
+Mechanism
+pickMechanism(const Edge &e, PeId src_pe, PeId dst_pe,
+              const LowerOptions &opt)
+{
+    if (src_pe == dst_pe || e.bytes == 0)
+        return Mechanism::Local;
+    if (e.mech != Mechanism::Auto)
+        return e.mech;
+    if (e.bytes <= opt.storeMaxBytes)
+        return Mechanism::Store;
+    if (e.bytes <= opt.putMaxBytes)
+        return Mechanism::Put;
+    if (e.bytes <= opt.bltCrossoverBytes)
+        return Mechanism::Get;
+    return Mechanism::Blt;
+}
+
+} // namespace
+
+bool
+Plan::build(const TaskGraph &graph, const LowerOptions &options, Plan &out,
+            std::string &err)
+{
+    out = Plan{};
+    out.pes = options.pes;
+    out.options = options;
+
+    // Placement: pinned tasks first, then greedy least-loaded (by
+    // accumulated cycles + flop cycles) in task-index order with the
+    // lowest PE id breaking ties — fully deterministic.
+    out.placement.resize(graph.tasks.size());
+    std::vector<std::uint64_t> load(options.pes, 0);
+    for (std::size_t t = 0; t < graph.tasks.size(); ++t) {
+        const Task &task = graph.tasks[t];
+        if (task.pe >= 0) {
+            out.placement[t] = static_cast<PeId>(task.pe);
+            load[out.placement[t]] +=
+                task.cycles + task.flops * options.flopCycles;
+        }
+    }
+    for (std::size_t t = 0; t < graph.tasks.size(); ++t) {
+        const Task &task = graph.tasks[t];
+        if (task.pe >= 0)
+            continue;
+        PeId best = 0;
+        for (PeId pe = 1; pe < options.pes; ++pe) {
+            if (load[pe] < load[best])
+                best = pe;
+        }
+        out.placement[t] = best;
+        load[best] += task.cycles + task.flops * options.flopCycles;
+    }
+
+    std::uint32_t levels = 0;
+    for (const Task &task : graph.tasks)
+        levels = std::max(levels, task.level + 1);
+    out.levels = levels;
+
+    // Mechanism choice + memory layout. Each PE's region is a bump
+    // cursor: one result word per task it owns, one staging span per
+    // out-edge it produces, one buffer span per cross-PE in-edge it
+    // consumes. Addresses depend only on (graph, options), so every
+    // scheduler flavor sees the same layout. Every span is rounded to
+    // the 32-byte cache line: AM-handler deliveries write raw storage
+    // (run.cc), so no two spans may share a line a consumer might
+    // already have cached.
+    std::vector<Addr> cursor(options.pes, kLayoutBase);
+    auto claim = [&cursor](PeId pe, std::uint64_t bytes) {
+        const Addr at = cursor[pe];
+        cursor[pe] += (bytes + 31) & ~std::uint64_t{31};
+        return at;
+    };
+    out.taskResultAddr.resize(graph.tasks.size());
+    for (std::size_t t = 0; t < graph.tasks.size(); ++t)
+        out.taskResultAddr[t] = claim(out.placement[t], 8);
+
+    out.loweredEdges.resize(graph.edges.size());
+    for (std::uint32_t ei = 0; ei < graph.edges.size(); ++ei) {
+        const Edge &e = graph.edges[ei];
+        LoweredEdge &le = out.loweredEdges[ei];
+        le.edge = ei;
+        le.srcPe = out.placement[e.src];
+        le.dstPe = out.placement[e.dst];
+        le.level = graph.tasks[e.src].level;
+        le.words = static_cast<std::uint32_t>((e.bytes + 7) / 8);
+        le.mech = pickMechanism(e, le.srcPe, le.dstPe, options);
+
+        le.stagingAddr = claim(le.srcPe, std::uint64_t{le.words} * 8);
+        if (le.mech != Mechanism::Local) {
+            le.bufAddr = claim(le.dstPe, std::uint64_t{le.words} * 8);
+        } else {
+            // Same-PE edge: the consumer folds straight from staging.
+            le.bufAddr = le.stagingAddr;
+        }
+    }
+
+    // Contention canonicalization guard (docs/STRESS.md): the
+    // schedulers only agree on AM ticket order and hardware-message
+    // timing when each receiver has a single sender per superstep, so
+    // reject plans that would put two sending PEs behind one
+    // receiver's queue in the same level.
+    std::map<std::tuple<std::uint32_t, PeId, int>, PeId> senders;
+    for (const LoweredEdge &le : out.loweredEdges) {
+        if (le.mech != Mechanism::Am && le.mech != Mechanism::Message)
+            continue;
+        const int kind = le.mech == Mechanism::Am ? 0 : 1;
+        auto [it, inserted] = senders.emplace(
+            std::make_tuple(le.level, le.dstPe, kind), le.srcPe);
+        if (!inserted && it->second != le.srcPe) {
+            err = "edge " + std::to_string(le.edge) + ": " +
+                  mechanismName(le.mech) + " edges into pe " +
+                  std::to_string(le.dstPe) + " at level " +
+                  std::to_string(le.level) +
+                  " have multiple sender PEs (" +
+                  std::to_string(it->second) + " and " +
+                  std::to_string(le.srcPe) +
+                  "); one sender per receiver per level";
+            return false;
+        }
+    }
+
+    // Work lists.
+    out.work.assign(options.pes,
+                    std::vector<PeLevelWork>(std::max(levels, 1u)));
+    for (std::uint32_t t = 0; t < graph.tasks.size(); ++t)
+        out.work[out.placement[t]][graph.tasks[t].level].tasks.push_back(t);
+    for (std::uint32_t ei = 0; ei < out.loweredEdges.size(); ++ei) {
+        const LoweredEdge &le = out.loweredEdges[ei];
+        switch (le.mech) {
+          case Mechanism::Local:
+            break;
+          case Mechanism::Store:
+          case Mechanism::Put:
+            out.work[le.srcPe][le.level].push.push_back(ei);
+            break;
+          case Mechanism::Am:
+            out.work[le.srcPe][le.level].push.push_back(ei);
+            ++out.work[le.dstPe][le.level].expectAms;
+            break;
+          case Mechanism::Message:
+            out.work[le.srcPe][le.level].push.push_back(ei);
+            ++out.work[le.dstPe][le.level].expectMessages;
+            break;
+          case Mechanism::Get:
+          case Mechanism::Blt:
+            out.work[le.dstPe][le.level].pull.push_back(ei);
+            break;
+          case Mechanism::Auto:
+            err = "internal: edge " + std::to_string(ei) +
+                  " left unlowered";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace t3dsim::taskgraph

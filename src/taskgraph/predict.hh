@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The `"mode": "predict"` fast path: a level-structured analytical
+ * estimate of a lowered task graph's makespan from the fitted
+ * per-primitive cost model (src/model, docs/MODEL.md), with no
+ * machine construction or simulation. Each superstep is priced per
+ * PE from its work list — compute, fold/stage memory traffic, and
+ * the per-mechanism transfer terms — then levels compose as
+ * sum-of-per-level-maxima plus the fitted barrier scaling.
+ *
+ * This is an estimate, not the cycle model: docs/TASKGRAPH.md
+ * "predict vs simulate" explains when each answer is the right one.
+ */
+
+#ifndef T3DSIM_TASKGRAPH_PREDICT_HH
+#define T3DSIM_TASKGRAPH_PREDICT_HH
+
+#include "model/compose.hh"
+#include "taskgraph/lower.hh"
+
+namespace t3dsim::taskgraph
+{
+
+/** Predicted makespan cycles + named breakdown + model flags. */
+model::Prediction predictGraph(const TaskGraph &graph, const Plan &plan,
+                               const model::CostModel &model);
+
+} // namespace t3dsim::taskgraph
+
+#endif // T3DSIM_TASKGRAPH_PREDICT_HH

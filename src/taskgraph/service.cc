@@ -1,0 +1,354 @@
+#include "taskgraph/service.hh"
+
+#include <sstream>
+
+#include "model/json.hh"
+#include "taskgraph/graph.hh"
+#include "taskgraph/predict.hh"
+#include "taskgraph/run.hh"
+
+namespace t3dsim::taskgraph
+{
+
+namespace
+{
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof esc, "\\u%04x", c);
+                out += esc;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** One parsed request line. */
+struct Request
+{
+    std::string id = "?";
+    bool predict = false;
+    std::uint32_t pes = 8;
+    int hostThreads = -1;
+    bool trace = false;
+    TaskGraph graph;
+    Plan plan;
+    std::uint64_t graphHash = 0;
+    std::uint64_t machineHash = 0;
+};
+
+/** The machine half of the cache key: everything outside the graph
+ *  that shapes the answer (PE count + the lowering thresholds; the
+ *  MachineConfig::t3d preset itself is fixed per build). */
+std::uint64_t
+machineHashFor(const LowerOptions &opt)
+{
+    std::ostringstream os;
+    os << "m1|" << opt.pes << '|' << opt.storeMaxBytes << '|'
+       << opt.putMaxBytes << '|' << opt.bltCrossoverBytes << '|'
+       << opt.flopCycles;
+    const std::string s = os.str();
+    return fnv1aBytes(s.data(), s.size());
+}
+
+bool
+parseRequest(const std::string &line, Request &req, std::string &err)
+{
+    std::string parse_err;
+    const model::Json doc = model::Json::parse(line, &parse_err);
+    if (!parse_err.empty()) {
+        err = "bad JSON: " + parse_err;
+        return false;
+    }
+    if (!doc.isObject()) {
+        err = "request must be a JSON object";
+        return false;
+    }
+    if (doc["id"].isString())
+        req.id = doc["id"].str();
+    if (doc.has("mode")) {
+        const std::string mode = doc["mode"].str();
+        if (mode == "predict") {
+            req.predict = true;
+        } else if (mode != "simulate") {
+            err = "unknown mode '" + mode + "' (simulate|predict)";
+            return false;
+        }
+    }
+    const double pes = doc.numberOr("pes", 8);
+    if (pes < 1 || pes > 65536 || pes != static_cast<double>(
+                                             static_cast<std::uint32_t>(pes))) {
+        err = "'pes' must be an integer in [1, 65536]";
+        return false;
+    }
+    req.pes = static_cast<std::uint32_t>(pes);
+    req.hostThreads = static_cast<int>(doc.numberOr("host_threads", -1));
+    req.trace = doc["trace"].isBool() && doc["trace"].boolean();
+
+    if (!doc.has("graph")) {
+        err = "missing 'graph'";
+        return false;
+    }
+    if (!TaskGraph::parse(doc["graph"], req.graph, err))
+        return false;
+    if (!req.graph.validate(req.pes, err))
+        return false;
+
+    LowerOptions opt;
+    opt.pes = req.pes;
+    if (!Plan::build(req.graph, opt, req.plan, err))
+        return false;
+
+    req.graphHash = req.graph.contentHash();
+    req.machineHash = machineHashFor(opt);
+    return true;
+}
+
+/** Execute and render the response fragment past the id/cache
+ *  fields. Scheduler-invariant: nothing here depends on
+ *  host_threads, so cached fragments are valid for every client. */
+std::string
+executePayload(const Request &req, const model::CostModel &model,
+               const std::string &trace_dir)
+{
+    std::ostringstream os;
+    os << "\"mode\":\"" << (req.predict ? "predict" : "simulate")
+       << "\",\"pes\":" << req.pes
+       << ",\"tasks\":" << req.graph.tasks.size()
+       << ",\"edges\":" << req.graph.edges.size()
+       << ",\"levels\":" << req.plan.levels << ",\"graph_hash\":\""
+       << hex64(req.graphHash) << "\",\"machine_hash\":\""
+       << hex64(req.machineHash) << '"';
+
+    if (req.predict) {
+        const model::Prediction pred =
+            predictGraph(req.graph, req.plan, model);
+        os << ",\"predicted_cycles\":"
+           << static_cast<std::uint64_t>(pred.cycles)
+           << ",\"breakdown\":{";
+        bool first = true;
+        for (const auto &[term, cycles] : pred.breakdown) {
+            os << (first ? "" : ",") << '"' << jsonEscape(term)
+               << "\":" << static_cast<std::uint64_t>(cycles);
+            first = false;
+        }
+        os << "},\"flags\":[";
+        first = true;
+        for (const std::string &flag : pred.flags) {
+            os << (first ? "" : ",") << '"' << jsonEscape(flag) << '"';
+            first = false;
+        }
+        os << ']';
+        return os.str();
+    }
+
+    RunOptions ropt;
+    ropt.hostThreads = req.hostThreads;
+    if (req.trace) {
+        ropt.trace = true;
+        if (!trace_dir.empty())
+            ropt.tracePath = trace_dir + "/job-" + hex64(req.graphHash) +
+                             "-" + hex64(req.machineHash) +
+                             ".trace.json";
+    }
+    const RunResult r = simulate(req.graph, req.plan, ropt);
+    os << ",\"makespan_cycles\":" << r.makespanCycles
+       << ",\"finish_hash\":\"" << hex64(r.finishHash)
+       << "\",\"checksum\":\"" << hex64(r.checksum) << '"';
+    if (req.trace) {
+        os << ",\"trace_events\":" << r.traceEvents;
+        if (!ropt.tracePath.empty())
+            os << ",\"trace_path\":\"" << jsonEscape(ropt.tracePath)
+               << '"';
+    }
+    return os.str();
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &err)
+{
+    return "{\"id\":\"" + jsonEscape(id) + "\",\"ok\":false,\"error\":\"" +
+           jsonEscape(err) + "\"}";
+}
+
+std::string
+okResponse(const std::string &id, bool cache_hit,
+           const std::string &payload)
+{
+    return "{\"id\":\"" + jsonEscape(id) + "\",\"ok\":true,\"cache\":\"" +
+           (cache_hit ? "hit" : "miss") + "\"," + payload + "}";
+}
+
+} // namespace
+
+JobService::JobService(ServiceOptions options, ResponseFn on_response)
+    : _options(std::move(options)), _onResponse(std::move(on_response))
+{
+    const unsigned workers = std::max(1u, _options.workers);
+    _workers.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerMain(); });
+}
+
+JobService::~JobService()
+{
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+JobService::submit(std::string line, std::uint64_t tag)
+{
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _queue.push_back(Job{std::move(line), tag});
+        ++_inFlight;
+    }
+    _wake.notify_one();
+}
+
+void
+JobService::drain()
+{
+    std::unique_lock<std::mutex> lock(_m);
+    _idle.wait(lock, [this] { return _inFlight == 0; });
+}
+
+JobService::Stats
+JobService::stats() const
+{
+    std::lock_guard<std::mutex> lock(_m);
+    return _stats;
+}
+
+void
+JobService::workerMain()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(_m);
+            _wake.wait(lock, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return; // _stop, and nothing left to answer
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        process(job);
+        {
+            std::lock_guard<std::mutex> lock(_m);
+            if (--_inFlight == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+void
+JobService::process(const Job &job)
+{
+    Request req;
+    std::string err;
+    if (!parseRequest(job.line, req, err)) {
+        {
+            std::lock_guard<std::mutex> lock(_m);
+            ++_stats.jobs;
+            ++_stats.errors;
+        }
+        _onResponse(job.tag, errorResponse(req.id, err));
+        return;
+    }
+
+    const std::string key = hex64(req.graphHash) + "/" +
+                            hex64(req.machineHash) +
+                            (req.predict ? "/p" : "/s") +
+                            (req.trace ? "/t" : "");
+    std::shared_ptr<CacheEntry> entry;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        auto it = _cache.find(key);
+        if (it == _cache.end()) {
+            entry = std::make_shared<CacheEntry>();
+            _cache.emplace(key, entry);
+            leader = true;
+        } else {
+            entry = it->second;
+        }
+    }
+
+    if (leader) {
+        const std::string payload =
+            executePayload(req, _options.model, _options.traceDir);
+        {
+            std::lock_guard<std::mutex> entry_lock(entry->m);
+            entry->payload = payload;
+            entry->done = true;
+        }
+        entry->cv.notify_all();
+        std::lock_guard<std::mutex> lock(_m);
+        ++_stats.jobs;
+        if (req.predict)
+            ++_stats.predictions;
+        else
+            ++_stats.simulations;
+    } else {
+        {
+            std::unique_lock<std::mutex> entry_lock(entry->m);
+            entry->cv.wait(entry_lock, [&] { return entry->done; });
+        }
+        std::lock_guard<std::mutex> lock(_m);
+        ++_stats.jobs;
+        ++_stats.cacheHits;
+    }
+    _onResponse(job.tag, okResponse(req.id, !leader, entry->payload));
+}
+
+std::string
+JobService::runStandalone(const std::string &line,
+                          const model::CostModel &model,
+                          const std::string &trace_dir)
+{
+    Request req;
+    std::string err;
+    if (!parseRequest(line, req, err))
+        return errorResponse(req.id, err);
+    return okResponse(req.id, false, executePayload(req, model, trace_dir));
+}
+
+} // namespace t3dsim::taskgraph

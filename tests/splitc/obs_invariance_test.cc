@@ -11,9 +11,10 @@
  * carry the heaviest instrumentation.
  *
  * The host-parallel scheduler must uphold the same invariant: every
- * shape here also runs under 1/2/4/8 worker threads (observability
- * on clamps to one worker internally, but still takes the windowed
- * execution path) and must match the sequential run bit-for-bit.
+ * shape here also runs under 1/2/4/8 worker threads — genuinely
+ * multi-shard with counters and tracing on, both batching into
+ * shard-local records flushed at window merges — and must match the
+ * sequential run bit-for-bit.
  */
 
 #include <cstdint>

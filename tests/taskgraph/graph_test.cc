@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Task-graph ingestion: schema errors are rejected with typed
+ * diagnostics, topological levels and content hashes are stable, and
+ * lowering enforces the single-sender contract for Am/Message edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "taskgraph/graph.hh"
+#include "taskgraph/lower.hh"
+
+using namespace t3dsim;
+using namespace t3dsim::taskgraph;
+
+namespace
+{
+
+TaskGraph
+mustParse(const std::string &text)
+{
+    TaskGraph g;
+    std::string err;
+    EXPECT_TRUE(TaskGraph::parseText(text, g, err)) << err;
+    return g;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    TaskGraph g;
+    std::string err;
+    EXPECT_FALSE(TaskGraph::parseText(text, g, err));
+    return err;
+}
+
+std::string
+validateError(const std::string &text, std::uint32_t pes)
+{
+    TaskGraph g = mustParse(text);
+    std::string err;
+    EXPECT_FALSE(g.validate(pes, err));
+    return err;
+}
+
+const char *kDiamond = R"({
+    "name": "diamond",
+    "tasks": [{"id": "a", "cycles": 100},
+              {"id": "b", "cycles": 200},
+              {"id": "c", "cycles": 300},
+              {"id": "d", "cycles": 400}],
+    "edges": [{"src": "a", "dst": "b", "bytes": 64},
+              {"src": "a", "dst": "c", "bytes": 64},
+              {"src": "b", "dst": "d", "bytes": 64},
+              {"src": "c", "dst": "d", "bytes": 64}]
+})";
+
+} // namespace
+
+TEST(TaskGraphParse, AcceptsDiamond)
+{
+    TaskGraph g = mustParse(kDiamond);
+    EXPECT_EQ(g.name, "diamond");
+    ASSERT_EQ(g.tasks.size(), 4u);
+    ASSERT_EQ(g.edges.size(), 4u);
+    EXPECT_EQ(g.tasks[0].id, "a");
+    EXPECT_EQ(g.tasks[1].cycles, 200u);
+    EXPECT_EQ(g.edges[0].src, 0u);
+    EXPECT_EQ(g.edges[0].dst, 1u);
+    EXPECT_EQ(g.edges[0].bytes, 64u);
+    EXPECT_EQ(g.edges[0].mech, Mechanism::Auto);
+}
+
+TEST(TaskGraphParse, RejectsBadJson)
+{
+    EXPECT_NE(parseError("{\"tasks\": [").find("bad JSON"),
+              std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsNonObjectTopLevel)
+{
+    EXPECT_NE(parseError("[1, 2]").find("top level must be a JSON object"),
+              std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsMissingOrEmptyTasks)
+{
+    EXPECT_NE(parseError("{}").find("'tasks' must be a non-empty array"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"tasks": []})")
+                  .find("'tasks' must be a non-empty array"),
+              std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsMissingAndDuplicateIds)
+{
+    EXPECT_NE(parseError(R"({"tasks": [{"cycles": 1}]})")
+                  .find("task 0: missing id"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"tasks": [{"id": "a"}, {"id": "a"}]})")
+                  .find("duplicate task id 'a'"),
+              std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsNonIntegerWeights)
+{
+    EXPECT_NE(
+        parseError(R"({"tasks": [{"id": "a", "cycles": -5}]})")
+            .find("'cycles' must be a non-negative integer"),
+        std::string::npos);
+    EXPECT_NE(
+        parseError(R"({"tasks": [{"id": "a", "flops": 1.5}]})")
+            .find("'flops' must be a non-negative integer"),
+        std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsDanglingEdgeEndpoints)
+{
+    const char *missing = R"({"tasks": [{"id": "a"}],
+                              "edges": [{"dst": "a"}]})";
+    EXPECT_NE(parseError(missing).find("edge 0: missing 'src' task id"),
+              std::string::npos);
+    const char *unknown = R"({"tasks": [{"id": "a"}],
+                              "edges": [{"src": "a", "dst": "zz"}]})";
+    EXPECT_NE(parseError(unknown).find("unknown dst task 'zz'"),
+              std::string::npos);
+}
+
+TEST(TaskGraphParse, RejectsUnknownMechanism)
+{
+    const char *text = R"({"tasks": [{"id": "a"}, {"id": "b"}],
+        "edges": [{"src": "a", "dst": "b", "mech": "rdma"}]})";
+    EXPECT_NE(parseError(text).find("unknown mechanism 'rdma'"),
+              std::string::npos);
+}
+
+TEST(TaskGraphValidate, RejectsOutOfRangePe)
+{
+    const char *text = R"({"tasks": [{"id": "a", "pe": 9}]})";
+    EXPECT_NE(validateError(text, 8).find("pe 9 out of range for 8 PEs"),
+              std::string::npos);
+}
+
+TEST(TaskGraphValidate, RejectsSelfLoop)
+{
+    const char *text = R"({"tasks": [{"id": "a"}, {"id": "b"}],
+        "edges": [{"src": "a", "dst": "a"}]})";
+    EXPECT_NE(validateError(text, 8).find("self-loop on task 'a'"),
+              std::string::npos);
+}
+
+TEST(TaskGraphValidate, RejectsOversizedAmAndMessagePayloads)
+{
+    const char *am = R"({"tasks": [{"id": "a"}, {"id": "b"}],
+        "edges": [{"src": "a", "dst": "b", "bytes": 32, "mech": "am"}]})";
+    EXPECT_NE(validateError(am, 8).find("am payload is capped at 24"),
+              std::string::npos);
+    const char *msg = R"({"tasks": [{"id": "a"}, {"id": "b"}],
+        "edges": [{"src": "a", "dst": "b", "bytes": 32,
+                   "mech": "message"}]})";
+    EXPECT_NE(validateError(msg, 8).find("message payload is capped at 24"),
+              std::string::npos);
+}
+
+TEST(TaskGraphValidate, RejectsCycles)
+{
+    const char *text = R"({"tasks": [{"id": "a"}, {"id": "b"}, {"id": "c"}],
+        "edges": [{"src": "a", "dst": "b"},
+                  {"src": "b", "dst": "c"},
+                  {"src": "c", "dst": "a"}]})";
+    EXPECT_NE(validateError(text, 8).find("cycle through task"),
+              std::string::npos);
+}
+
+TEST(TaskGraphValidate, ComputesLongestPathLevels)
+{
+    TaskGraph g = mustParse(kDiamond);
+    std::string err;
+    ASSERT_TRUE(g.validate(8, err)) << err;
+    EXPECT_EQ(g.tasks[0].level, 0u);
+    EXPECT_EQ(g.tasks[1].level, 1u);
+    EXPECT_EQ(g.tasks[2].level, 1u);
+    EXPECT_EQ(g.tasks[3].level, 2u);
+}
+
+TEST(TaskGraphHash, TracksContent)
+{
+    TaskGraph a = mustParse(kDiamond);
+    TaskGraph b = mustParse(kDiamond);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    b.edges[0].bytes = 65;
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(Lowering, PicksMechanismBySize)
+{
+    const char *text = R"({"tasks": [
+        {"id": "a", "pe": 0}, {"id": "s", "pe": 1}, {"id": "p", "pe": 2},
+        {"id": "g", "pe": 3}, {"id": "b", "pe": 4}, {"id": "l", "pe": 0}],
+        "edges": [{"src": "a", "dst": "s", "bytes": 64},
+                  {"src": "a", "dst": "p", "bytes": 1024},
+                  {"src": "a", "dst": "g", "bytes": 4096},
+                  {"src": "a", "dst": "b", "bytes": 65536},
+                  {"src": "a", "dst": "l", "bytes": 4096}]})";
+    TaskGraph g = mustParse(text);
+    std::string err;
+    ASSERT_TRUE(g.validate(8, err)) << err;
+    Plan plan;
+    ASSERT_TRUE(Plan::build(g, LowerOptions{}, plan, err)) << err;
+    EXPECT_EQ(plan.loweredEdges[0].mech, Mechanism::Store);
+    EXPECT_EQ(plan.loweredEdges[1].mech, Mechanism::Put);
+    EXPECT_EQ(plan.loweredEdges[2].mech, Mechanism::Get);
+    EXPECT_EQ(plan.loweredEdges[3].mech, Mechanism::Blt);
+    EXPECT_EQ(plan.loweredEdges[4].mech, Mechanism::Local);
+}
+
+TEST(Lowering, HonorsPinsAndBalancesRest)
+{
+    const char *text = R"({"tasks": [
+        {"id": "a", "pe": 3, "cycles": 10},
+        {"id": "b", "cycles": 1000},
+        {"id": "c", "cycles": 10}]})";
+    TaskGraph g = mustParse(text);
+    std::string err;
+    ASSERT_TRUE(g.validate(4, err)) << err;
+    LowerOptions opt;
+    opt.pes = 4;
+    Plan plan;
+    ASSERT_TRUE(Plan::build(g, opt, plan, err)) << err;
+    EXPECT_EQ(plan.placement[0], 3u);
+    // Greedy least-loaded: b lands on PE 0, then c avoids it.
+    EXPECT_EQ(plan.placement[1], 0u);
+    EXPECT_EQ(plan.placement[2], 1u);
+}
+
+TEST(Lowering, RejectsMultipleAmSendersPerReceiverLevel)
+{
+    const char *text = R"({"tasks": [
+        {"id": "a", "pe": 0}, {"id": "b", "pe": 1}, {"id": "c", "pe": 2}],
+        "edges": [{"src": "a", "dst": "c", "bytes": 8, "mech": "am"},
+                  {"src": "b", "dst": "c", "bytes": 8, "mech": "am"}]})";
+    TaskGraph g = mustParse(text);
+    std::string err;
+    LowerOptions opt;
+    opt.pes = 4;
+    ASSERT_TRUE(g.validate(opt.pes, err)) << err;
+    Plan plan;
+    EXPECT_FALSE(Plan::build(g, opt, plan, err));
+    EXPECT_NE(err.find("multiple sender PEs"), std::string::npos) << err;
+}
+
+TEST(Lowering, AlignsLayoutSpansToCacheLines)
+{
+    TaskGraph g = mustParse(kDiamond);
+    std::string err;
+    ASSERT_TRUE(g.validate(8, err)) << err;
+    Plan plan;
+    ASSERT_TRUE(Plan::build(g, LowerOptions{}, plan, err)) << err;
+    for (const LoweredEdge &le : plan.loweredEdges) {
+        EXPECT_EQ(le.stagingAddr % 32, 0u);
+        EXPECT_EQ(le.bufAddr % 32, 0u);
+    }
+    for (Addr addr : plan.taskResultAddr)
+        EXPECT_EQ(addr % 32, 0u);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * JobService contract: 64+ concurrent jobs answer correctly across a
+ * worker pool, repeats are served from the cache without
+ * re-simulating (leader/follower coalescing), cached answers are
+ * byte-identical to standalone execution, and malformed requests get
+ * typed error responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/primitives.hh"
+#include "taskgraph/service.hh"
+
+using namespace t3dsim;
+using namespace t3dsim::taskgraph;
+
+namespace
+{
+
+/** Thread-safe response collector keyed by submit tag. */
+struct Collector
+{
+    std::mutex m;
+    std::map<std::uint64_t, std::string> responses;
+
+    JobService::ResponseFn
+    fn()
+    {
+        return [this](std::uint64_t tag, const std::string &line) {
+            std::lock_guard<std::mutex> lock(m);
+            responses[tag] = line;
+        };
+    }
+};
+
+std::string
+jobLine(const std::string &id, const std::string &mode, int cycles,
+        int host_threads = -1)
+{
+    return "{\"id\": \"" + id + "\", \"mode\": \"" + mode +
+           "\", \"pes\": 4, \"host_threads\": " +
+           std::to_string(host_threads) +
+           ", \"graph\": {\"tasks\": ["
+           "{\"id\": \"a\", \"cycles\": " +
+           std::to_string(cycles) +
+           "}, {\"id\": \"b\", \"cycles\": 70}],"
+           " \"edges\": [{\"src\": \"a\", \"dst\": \"b\","
+           " \"bytes\": 256}]}}";
+}
+
+bool
+contains(const std::string &s, const std::string &needle)
+{
+    return s.find(needle) != std::string::npos;
+}
+
+/** Everything past the volatile cache field: the executed payload. */
+std::string
+payloadOf(const std::string &response)
+{
+    const std::size_t at = response.find("\"mode\":");
+    EXPECT_NE(at, std::string::npos) << response;
+    return at == std::string::npos ? std::string{} : response.substr(at);
+}
+
+} // namespace
+
+TEST(JobService, AnswersConcurrentBatchWithCoalescedCache)
+{
+    ServiceOptions opt;
+    opt.workers = 8;
+    opt.model = model::defaultCostModel();
+    Collector out;
+    JobService service(opt, out.fn());
+
+    // 64 simulate jobs over 8 distinct graphs (8 duplicates each) and
+    // 16 predict jobs over 4 distinct graphs, all in flight at once.
+    constexpr int kSimJobs = 64, kSimUnique = 8;
+    constexpr int kPredJobs = 16, kPredUnique = 4;
+    for (int i = 0; i < kSimJobs; ++i)
+        service.submit(jobLine("sim" + std::to_string(i), "simulate",
+                               100 + i % kSimUnique),
+                       static_cast<std::uint64_t>(i));
+    for (int i = 0; i < kPredJobs; ++i)
+        service.submit(jobLine("pred" + std::to_string(i), "predict",
+                               100 + i % kPredUnique),
+                       static_cast<std::uint64_t>(1000 + i));
+    service.drain();
+
+    ASSERT_EQ(out.responses.size(),
+              static_cast<std::size_t>(kSimJobs + kPredJobs));
+    for (const auto &[tag, line] : out.responses)
+        EXPECT_TRUE(contains(line, "\"ok\":true")) << line;
+
+    // Duplicates answered byte-identically to their leader.
+    std::map<std::string, std::string> byKey;
+    for (int i = 0; i < kSimJobs; ++i) {
+        const std::string key = "s" + std::to_string(i % kSimUnique);
+        const std::string payload =
+            payloadOf(out.responses[static_cast<std::uint64_t>(i)]);
+        auto [it, fresh] = byKey.emplace(key, payload);
+        if (!fresh)
+            EXPECT_EQ(it->second, payload) << key;
+    }
+
+    const JobService::Stats stats = service.stats();
+    EXPECT_EQ(stats.jobs,
+              static_cast<std::uint64_t>(kSimJobs + kPredJobs));
+    EXPECT_EQ(stats.errors, 0u);
+    // Exactly one execution per distinct (graph, mode); every other
+    // job was a cache hit.
+    EXPECT_EQ(stats.simulations, static_cast<std::uint64_t>(kSimUnique));
+    EXPECT_EQ(stats.predictions,
+              static_cast<std::uint64_t>(kPredUnique));
+    EXPECT_EQ(stats.cacheHits,
+              static_cast<std::uint64_t>(kSimJobs - kSimUnique +
+                                         kPredJobs - kPredUnique));
+}
+
+TEST(JobService, RepeatBatchShortCircuitsWithoutResimulating)
+{
+    ServiceOptions opt;
+    opt.workers = 4;
+    opt.model = model::defaultCostModel();
+    Collector out;
+    JobService service(opt, out.fn());
+
+    service.submit(jobLine("first", "simulate", 300), 1);
+    service.drain();
+    const JobService::Stats before = service.stats();
+    EXPECT_EQ(before.simulations, 1u);
+
+    for (int i = 0; i < 16; ++i)
+        service.submit(jobLine("rep" + std::to_string(i), "simulate", 300),
+                       static_cast<std::uint64_t>(10 + i));
+    service.drain();
+
+    const JobService::Stats after = service.stats();
+    EXPECT_EQ(after.simulations, before.simulations);  // no re-runs
+    EXPECT_EQ(after.cacheHits, before.cacheHits + 16);
+    for (int i = 0; i < 16; ++i) {
+        const std::string &line =
+            out.responses[static_cast<std::uint64_t>(10 + i)];
+        EXPECT_TRUE(contains(line, "\"cache\":\"hit\"")) << line;
+        EXPECT_EQ(payloadOf(line), payloadOf(out.responses[1]));
+    }
+}
+
+TEST(JobService, CacheIsHostThreadInvariant)
+{
+    ServiceOptions opt;
+    opt.workers = 2;
+    opt.model = model::defaultCostModel();
+    Collector out;
+    JobService service(opt, out.fn());
+
+    // Same graph at different host thread counts: one simulation,
+    // identical payloads — simulated results never depend on the
+    // host scheduler.
+    service.submit(jobLine("seq", "simulate", 42, -1), 1);
+    service.drain();
+    service.submit(jobLine("par", "simulate", 42, 4), 2);
+    service.drain();
+
+    EXPECT_EQ(service.stats().simulations, 1u);
+    EXPECT_EQ(payloadOf(out.responses[1]), payloadOf(out.responses[2]));
+    EXPECT_TRUE(contains(out.responses[2], "\"cache\":\"hit\""));
+}
+
+TEST(JobService, MatchesStandaloneExecution)
+{
+    const std::string line = jobLine("solo", "simulate", 77);
+    const std::string standalone =
+        JobService::runStandalone(line, model::defaultCostModel(), "");
+
+    ServiceOptions opt;
+    opt.workers = 2;
+    opt.model = model::defaultCostModel();
+    Collector out;
+    JobService service(opt, out.fn());
+    service.submit(line, 1);
+    service.drain();
+
+    EXPECT_EQ(payloadOf(standalone), payloadOf(out.responses[1]));
+    EXPECT_TRUE(contains(standalone, "\"makespan_cycles\":"));
+    EXPECT_TRUE(contains(standalone, "\"finish_hash\":\"0x"));
+    EXPECT_TRUE(contains(standalone, "\"checksum\":\"0x"));
+}
+
+TEST(JobService, RejectsMalformedRequests)
+{
+    ServiceOptions opt;
+    opt.workers = 2;
+    opt.model = model::defaultCostModel();
+    Collector out;
+    JobService service(opt, out.fn());
+
+    service.submit("this is not json", 1);
+    service.submit("{\"id\": \"nograph\", \"mode\": \"simulate\"}", 2);
+    service.submit("{\"id\": \"badmode\", \"mode\": \"guess\","
+                   " \"graph\": {\"tasks\": [{\"id\": \"a\"}]}}",
+                   3);
+    service.submit("{\"id\": \"cyc\", \"graph\": {\"tasks\":"
+                   " [{\"id\": \"a\"}, {\"id\": \"b\"}], \"edges\":"
+                   " [{\"src\": \"a\", \"dst\": \"b\"},"
+                   "  {\"src\": \"b\", \"dst\": \"a\"}]}}",
+                   4);
+    service.drain();
+
+    EXPECT_TRUE(contains(out.responses[1], "\"ok\":false"));
+    EXPECT_TRUE(contains(out.responses[1], "bad JSON"));
+    EXPECT_TRUE(contains(out.responses[2], "missing 'graph'"));
+    EXPECT_TRUE(contains(out.responses[3], "unknown mode 'guess'"));
+    EXPECT_TRUE(contains(out.responses[4], "cycle through task"));
+    EXPECT_EQ(service.stats().errors, 4u);
+    EXPECT_EQ(service.stats().simulations, 0u);
+}

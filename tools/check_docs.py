@@ -11,7 +11,13 @@ links, and checks that
     punctuation dropped);
   - no file contains an obviously stale test-count claim (the suite
     prints its real count in CI; docs must not hard-code a different
-    one when --tests=N is passed).
+    one when --tests=N is passed, or when --ctest-dir points at a
+    configured build whose `ctest -N` total is the ground truth);
+  - changelog-style files (CHANGES.md, ROADMAP.md) may keep
+    historical per-PR counts, but their *largest* claimed count must
+    match the current suite — that is exactly the drift this check
+    exists to catch (a PR adding tests while a doc still quotes the
+    previous total).
 
 External http(s) links are not fetched — CI must not depend on the
 network — only checked for empty targets. Exits non-zero listing
@@ -21,6 +27,7 @@ every broken link.
 import argparse
 import os
 import re
+import subprocess
 import sys
 
 LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
@@ -29,8 +36,26 @@ CODE_FENCE_RE = re.compile(r"```.*?```", re.S)
 TEST_COUNT_RE = re.compile(r"[~]?(\d{3,4})\s+(?:tier-1\s+)?tests")
 
 # Changelog-style files record historical per-PR test counts on
-# purpose; the staleness check only applies to current-state claims.
+# purpose; every claim being current applies only elsewhere, but the
+# newest (largest) claim in these files must still be current.
 TEST_COUNT_EXEMPT = {"CHANGES.md", "ROADMAP.md"}
+
+# Transient work-order files quote the counts of whatever PR they
+# were written against; they are not documentation of the suite.
+TEST_COUNT_SKIP = {"ISSUE.md", "REVIEW.md"}
+
+
+def ctest_total(build_dir: str) -> int:
+    """The suite's real size: `ctest -N` in a configured build dir
+    prints 'Total Tests: N' as its last line."""
+    out = subprocess.run(
+        ["ctest", "-N"], cwd=build_dir, capture_output=True,
+        text=True, check=True).stdout
+    m = re.search(r"Total Tests:\s*(\d+)", out)
+    if not m:
+        raise RuntimeError(
+            f"ctest -N in {build_dir} printed no 'Total Tests:' line")
+    return int(m.group(1))
 
 
 def slugify(heading: str) -> str:
@@ -86,13 +111,22 @@ def check(root: str, expected_tests: int | None) -> int:
                         f"{rel}: broken anchor {target}")
 
         if (expected_tests is not None
-                and os.path.basename(path) not in TEST_COUNT_EXEMPT):
-            for m in TEST_COUNT_RE.finditer(body):
-                claimed = int(m.group(1))
-                if claimed != expected_tests:
+                and os.path.basename(path) not in TEST_COUNT_SKIP):
+            claims = [int(m.group(1))
+                      for m in TEST_COUNT_RE.finditer(body)]
+            if os.path.basename(path) in TEST_COUNT_EXEMPT:
+                # History may quote old totals, but the newest claim
+                # must match the suite as it stands.
+                if claims and max(claims) != expected_tests:
                     errors.append(
-                        f"{rel}: stale test count {claimed} "
-                        f"(suite has {expected_tests})")
+                        f"{rel}: newest test count {max(claims)} "
+                        f"out of date (suite has {expected_tests})")
+            else:
+                for claimed in claims:
+                    if claimed != expected_tests:
+                        errors.append(
+                            f"{rel}: stale test count {claimed} "
+                            f"(suite has {expected_tests})")
 
     for e in errors:
         print("FAIL:", e)
@@ -108,8 +142,20 @@ def main():
     ap.add_argument("--tests", type=int, default=None,
                     help="expected tier-1 test count; docs claiming "
                          "a different count fail the audit")
+    ap.add_argument("--ctest-dir", default=None,
+                    help="configured build directory; runs `ctest -N` "
+                         "there and audits doc counts against its "
+                         "Total Tests line")
     args = ap.parse_args()
-    sys.exit(check(args.root, args.tests))
+    expected = args.tests
+    if args.ctest_dir is not None:
+        actual = ctest_total(args.ctest_dir)
+        if expected is not None and expected != actual:
+            print(f"FAIL: --tests={expected} but ctest -N "
+                  f"reports {actual}")
+            sys.exit(1)
+        expected = actual
+    sys.exit(check(args.root, expected))
 
 
 if __name__ == "__main__":
